@@ -1,0 +1,73 @@
+// Experiment E15 (§4.1): the round-robin simulation, literally.
+// Claim: Algorithm 2 is nondeterministic; the paper's round-robin
+// simulation attains the cost of the best branch. We enumerate every
+// uniform peel strategy, measure each, and show the default cost-guided
+// chooser lands within a small constant of the empirical best branch.
+#include "bench/bench_util.h"
+#include "core/acyclic_join.h"
+#include "core/exhaustive.h"
+#include "core/reduce.h"
+#include "workload/random_instance.h"
+
+namespace emjoin {
+namespace {
+
+void Run() {
+  bench::Banner(
+      "E15 exhaustive branch enumeration vs the cost-guided chooser",
+      "the min over branches is what round-robin attains (up to the "
+      "interleaving constant); the guided single run must track it");
+  bench::Table table({"query", "seed", "branches", "best_io", "worst_io",
+                      "worst/best", "guided_io", "guided/best"});
+  for (const auto& [name, q] :
+       std::vector<std::pair<std::string, query::JoinQuery>>{
+           {"L4", query::JoinQuery::Line(4)},
+           {"L5", query::JoinQuery::Line(5)},
+           {"star3", query::JoinQuery::Star(3)},
+           {"lollipop2", query::JoinQuery::Lollipop(2)}}) {
+    for (std::uint64_t seed : {1, 2}) {
+      extmem::Device dev(16, 4);
+      workload::RandomOptions opts;
+      opts.seed = 400 + seed;
+      opts.domain_size = 12;
+      opts.zipf_s = seed == 1 ? 0.0 : 1.3;
+      const auto rels = workload::RandomInstance(
+          &dev, q, std::vector<TupleCount>(q.num_edges(), 48), opts);
+      const auto reduced = core::FullyReduce(rels);
+
+      const auto branches = core::ExhaustivePeelSearch(reduced, 48);
+      std::uint64_t best = branches.front().ios;
+      std::uint64_t worst = branches.front().ios;
+      for (const auto& br : branches) {
+        best = std::min(best, br.ios);
+        worst = std::max(worst, br.ios);
+      }
+
+      core::CountingSink sink;
+      const extmem::IoStats before = dev.stats();
+      core::AcyclicJoinOptions a_opts;
+      a_opts.reduce_first = false;
+      core::AcyclicJoin(reduced, sink.AsEmitFn(), a_opts);
+      const std::uint64_t guided = (dev.stats() - before).total();
+
+      table.AddRow({name, bench::U(seed), bench::U(branches.size()),
+                    bench::U(best), bench::U(worst),
+                    bench::F(static_cast<double>(worst) / best),
+                    bench::U(guided),
+                    bench::F(static_cast<double>(guided) / best)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: guided/best stays near 1 while worst/best can be\n"
+      "several-fold — the chooser recovers the round-robin guarantee\n"
+      "without running every branch.\n");
+}
+
+}  // namespace
+}  // namespace emjoin
+
+int main() {
+  emjoin::Run();
+  return 0;
+}

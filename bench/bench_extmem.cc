@@ -1,0 +1,100 @@
+// Experiment E13: substrate microbenchmarks (google-benchmark).
+// Validates the external-memory simulator itself: scan charges N/B,
+// external sort charges (passes+1) * 2N/B, semijoin is linear; and
+// reports wall-clock throughput of the simulated operators.
+#include <benchmark/benchmark.h>
+
+#include "core/reduce.h"
+#include "extmem/sorter.h"
+#include "workload/constructions.h"
+
+namespace emjoin {
+namespace {
+
+void BM_SequentialScan(benchmark::State& state) {
+  const TupleCount n = state.range(0);
+  extmem::Device dev(1024, 64);
+  const storage::Relation rel = workload::Matching(&dev, 0, 1, n);
+  std::uint64_t ios = 0;
+  for (auto _ : state) {
+    const extmem::IoStats before = dev.stats();
+    extmem::FileReader reader(rel.range());
+    Value sum = 0;
+    while (!reader.Done()) sum += reader.Next()[0];
+    benchmark::DoNotOptimize(sum);
+    ios = (dev.stats() - before).total();
+  }
+  state.counters["io"] = static_cast<double>(ios);
+  state.counters["io_per_NB"] =
+      static_cast<double>(ios) / (static_cast<double>(n) / dev.B());
+}
+BENCHMARK(BM_SequentialScan)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_ExternalSort(benchmark::State& state) {
+  const TupleCount n = state.range(0);
+  extmem::Device dev(1024, 64);
+  std::vector<storage::Tuple> rows;
+  rows.reserve(n);
+  std::uint64_t x = 88172645463325252ull;
+  for (TupleCount i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rows.push_back({x % 100000, i});
+  }
+  const storage::Relation rel = storage::Relation::FromTuples(
+      &dev, storage::Schema({0, 1}), rows);
+  std::uint64_t ios = 0;
+  for (auto _ : state) {
+    const extmem::IoStats before = dev.stats();
+    benchmark::DoNotOptimize(rel.SortedBy(0));
+    ios = (dev.stats() - before).total();
+  }
+  const double passes =
+      static_cast<double>(extmem::MergePassesFor(dev, n)) + 1.0;
+  state.counters["io"] = static_cast<double>(ios);
+  state.counters["io_per_pass2NB"] =
+      static_cast<double>(ios) /
+      (passes * 2.0 * static_cast<double>(n) / dev.B());
+}
+BENCHMARK(BM_ExternalSort)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_SemiJoin(benchmark::State& state) {
+  const TupleCount n = state.range(0);
+  extmem::Device dev(1024, 64);
+  const storage::Relation rel = workload::ManyToOne(&dev, 0, 1, n, n / 4);
+  const storage::Relation filter =
+      workload::Matching(&dev, 1, 2, n / 2);
+  std::uint64_t ios = 0;
+  for (auto _ : state) {
+    const extmem::IoStats before = dev.stats();
+    benchmark::DoNotOptimize(core::SemiJoin(rel, filter, 1));
+    ios = (dev.stats() - before).total();
+  }
+  state.counters["io"] = static_cast<double>(ios);
+}
+BENCHMARK(BM_SemiJoin)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_FullReduceL5(benchmark::State& state) {
+  const TupleCount n = state.range(0);
+  extmem::Device dev(1024, 64);
+  std::vector<storage::Relation> rels;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    rels.push_back(workload::ManyToOne(&dev, i, i + 1, n, n / 2));
+  }
+  std::uint64_t ios = 0;
+  for (auto _ : state) {
+    const extmem::IoStats before = dev.stats();
+    benchmark::DoNotOptimize(core::FullyReduce(rels));
+    ios = (dev.stats() - before).total();
+  }
+  state.counters["io"] = static_cast<double>(ios);
+  state.counters["io_per_NB"] =
+      static_cast<double>(ios) / (5.0 * static_cast<double>(n) / dev.B());
+}
+BENCHMARK(BM_FullReduceL5)->Arg(1 << 12)->Arg(1 << 15);
+
+}  // namespace
+}  // namespace emjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Experiment E14 (§3): instance optimality of the 2-relation hybrid.
+// Claim: the sort-merge/nested-loop hybrid runs in Õ(Σ_a N1|a*N2|a/(MB)
+// + N/B) on *every* instance — cheap on sparse instances, matching
+// nested loop only when the output is genuinely quadratic.
+#include "bench/bench_util.h"
+#include "core/pairwise.h"
+#include "extmem/sorter.h"
+#include "tests/test_util.h"
+#include "workload/random_instance.h"
+
+namespace emjoin {
+namespace {
+
+// Instance with `heavy` join values carrying `per` tuples on both sides
+// plus `light` matching tuples.
+std::vector<storage::Relation> SkewInstance(extmem::Device* dev,
+                                            TupleCount heavy, TupleCount per,
+                                            TupleCount light) {
+  std::vector<storage::Tuple> r1, r2;
+  Value uid = 0;
+  for (Value h = 0; h < heavy; ++h) {
+    for (Value i = 0; i < per; ++i) {
+      r1.push_back({uid++, h});
+      r2.push_back({h, uid++});
+    }
+  }
+  for (Value l = 0; l < light; ++l) {
+    r1.push_back({uid++, 1000000 + l});
+    r2.push_back({1000000 + l, uid++});
+  }
+  return {test::MakeRel(dev, {0, 1}, r1), test::MakeRel(dev, {1, 2}, r2)};
+}
+
+void Run() {
+  bench::Banner("E14 instance-optimal 2-relation join (§3)",
+                "paper: Õ(Σ_a N1|a*N2|a/(MB) + N/B) on any instance; the "
+                "instance bound interpolates between scan and NL");
+  bench::Table table({"heavy", "per_value", "light", "results", "hybrid_io",
+                      "instance_bound", "io/bound", "nl_io"});
+  const TupleCount m = 128, b = 16;
+  for (const auto& [heavy, per, light] :
+       std::vector<std::tuple<TupleCount, TupleCount, TupleCount>>{
+           {0, 0, 8192},    // pure matching: linear
+           {1, 512, 4096},  // one heavy value
+           {4, 256, 2048},
+           {16, 128, 1024},
+           {64, 64, 0},     // everything heavy-ish
+           {1, 2048, 0}}) {  // single giant value: quadratic
+    extmem::Device dev(m, b);
+    const auto rels = SkewInstance(&dev, heavy, per, light);
+    core::Assignment a1(core::MakeResultSchema(rels));
+    const bench::Measured hybrid = bench::MeasureJoin(&dev, [&](auto emit) {
+      core::SortMergeJoin(rels[0], rels[1], &a1, emit);
+    });
+    extmem::Device dev2(m, b);
+    const auto rels2 = SkewInstance(&dev2, heavy, per, light);
+    core::Assignment a2(core::MakeResultSchema(rels2));
+    const bench::Measured nl = bench::MeasureJoin(&dev2, [&](auto emit) {
+      core::BlockNestedLoopJoin(rels2[0], rels2[1], &a2, emit);
+    });
+
+    const double n_total =
+        static_cast<double>(rels[0].size() + rels[1].size());
+    // Õ hides one log factor: charge the sort passes explicitly so the
+    // ratio column isolates the constant.
+    const double passes =
+        static_cast<double>(extmem::MergePassesFor(dev, rels[0].size())) + 1;
+    const double instance_bound =
+        static_cast<double>(heavy) * per * per / (m * b) +
+        2.0 * passes * n_total / b;
+    table.AddRow({bench::U(heavy), bench::U(per), bench::U(light),
+                  bench::U(hybrid.results), bench::U(hybrid.ios),
+                  bench::F(instance_bound),
+                  bench::F(hybrid.ios / instance_bound), bench::U(nl.ios)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: the hybrid's io/bound ratio stays in one constant\n"
+      "band from pure-matching to single-giant-value instances, while\n"
+      "nested loop pays its fixed N1*N2-shaped cost regardless.\n");
+}
+
+}  // namespace
+}  // namespace emjoin
+
+int main() {
+  emjoin::Run();
+  return 0;
+}

@@ -1,0 +1,99 @@
+#ifndef EMJOIN_BENCH_BENCH_UTIL_H_
+#define EMJOIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/emit.h"
+#include "extmem/device.h"
+#include "gens/psi.h"
+
+namespace emjoin::bench {
+
+/// Fixed-width table printer for experiment output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      width[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (row[i].size() > width[i]) width[i] = row[i].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(width[i]), row[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::string rule;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      rule += std::string(width[i], '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string U(std::uint64_t v) { return std::to_string(v); }
+
+inline std::string F(double v) {
+  char buf[64];
+  if (v >= 100 || v == 0.0) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  }
+  return buf;
+}
+
+/// Runs `fn` and returns the I/Os it charged plus the results it emitted.
+struct Measured {
+  std::uint64_t ios = 0;
+  std::uint64_t results = 0;
+};
+
+inline Measured MeasureJoin(
+    extmem::Device* dev,
+    const std::function<void(const core::EmitFn&)>& run) {
+  core::CountingSink sink;
+  const extmem::IoStats before = dev->stats();
+  run(sink.AsEmitFn());
+  Measured m;
+  m.ios = (dev->stats() - before).total();
+  m.results = sink.count();
+  return m;
+}
+
+/// Instance-exact Theorem 3 bound (max Ψ + linear term) for reporting.
+inline double TheoremBound(const std::vector<storage::Relation>& rels,
+                           const extmem::Device& dev) {
+  query::JoinQuery q;
+  for (const auto& r : rels) q.AddRelation(r.schema(), r.size());
+  return static_cast<double>(
+      gens::PredictBoundExact(q, rels, dev.M(), dev.B()).bound);
+}
+
+inline void Banner(const std::string& title, const std::string& claim) {
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), claim.c_str());
+}
+
+}  // namespace emjoin::bench
+
+#endif  // EMJOIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,42 @@
+#ifndef EMJOIN_CORE_ACYCLIC_JOIN_H_
+#define EMJOIN_CORE_ACYCLIC_JOIN_H_
+
+#include <vector>
+
+#include "core/emit.h"
+#include "gens/planner.h"
+#include "storage/relation.h"
+
+namespace emjoin::core {
+
+/// Options for the AcyclicJoin executor.
+struct AcyclicJoinOptions {
+  /// Which leaf to peel at each recursive call (the paper's
+  /// nondeterministic choice, Algorithm 2 line 11). Defaults to the
+  /// cost-guided chooser, which realizes the effect of the paper's
+  /// round-robin simulation of all branches.
+  gens::LeafChooser leaf_chooser;
+
+  /// Run the full reducer first (the paper assumes fully reduced
+  /// instances). Disable only if the input is known reduced.
+  bool reduce_first = true;
+};
+
+/// Algorithm 2: the worst-case I/O-optimal join for Berge-acyclic
+/// queries in the emit model. Results are delivered as assignments over
+/// MakeResultSchema(rels).
+///
+/// I/O cost (Theorem 3): Õ( min_{S ∈ GenS(Q)} max_{S∈S} Ψ(R, S) ) for the
+/// best peeling branch.
+void AcyclicJoin(const std::vector<storage::Relation>& rels,
+                 const EmitFn& emit, const AcyclicJoinOptions& options = {});
+
+/// Internal entry point used by Algorithm 5 and the L6/L7 reductions:
+/// joins `rels` (already reduced) under an existing assignment/emit chain.
+void AcyclicJoinUnderAssignment(const std::vector<storage::Relation>& rels,
+                                Assignment* assignment, const EmitFn& emit,
+                                const gens::LeafChooser& chooser);
+
+}  // namespace emjoin::core
+
+#endif  // EMJOIN_CORE_ACYCLIC_JOIN_H_

@@ -1,0 +1,17 @@
+#include "core/emit.h"
+
+namespace emjoin::core {
+
+ResultSchema MakeResultSchema(const std::vector<storage::Relation>& rels) {
+  ResultSchema schema;
+  for (const storage::Relation& r : rels) {
+    for (storage::AttrId a : r.schema().attrs()) {
+      if (schema.PositionOf(a) == schema.attrs.size()) {
+        schema.attrs.push_back(a);
+      }
+    }
+  }
+  return schema;
+}
+
+}  // namespace emjoin::core

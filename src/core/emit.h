@@ -1,0 +1,98 @@
+#ifndef EMJOIN_CORE_EMIT_H_
+#define EMJOIN_CORE_EMIT_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "query/hypergraph.h"
+#include "storage/relation.h"
+
+namespace emjoin::core {
+
+/// The emit model (§1.1): each join result is delivered to a callback
+/// while all participating tuples are memory-resident; results are never
+/// written to disk.
+///
+/// A join result is represented as an assignment of values to the query's
+/// attributes, in the order given by the accompanying ResultSchema. With
+/// set-semantics relations, result assignments are in bijection with
+/// result combinations (each relation's participating tuple is the unique
+/// tuple matching the assignment), so this is equivalent to the paper's
+/// emit(t1, ..., tn) with all participating tuples identified.
+using EmitFn = std::function<void(std::span<const Value>)>;
+
+/// Attribute order of emitted assignments.
+struct ResultSchema {
+  std::vector<storage::AttrId> attrs;
+
+  std::uint32_t PositionOf(storage::AttrId a) const {
+    for (std::uint32_t i = 0; i < attrs.size(); ++i) {
+      if (attrs[i] == a) return i;
+    }
+    return static_cast<std::uint32_t>(attrs.size());
+  }
+};
+
+/// Result schema for a set of relations: every attribute, in first-seen
+/// order.
+ResultSchema MakeResultSchema(const std::vector<storage::Relation>& rels);
+
+/// A mutable result assignment. Operators bind the physical tuples that
+/// participate in a result, then hand `values()` to the EmitFn.
+class Assignment {
+ public:
+  explicit Assignment(ResultSchema schema)
+      : schema_(std::move(schema)), values_(schema_.attrs.size(), 0) {}
+
+  const ResultSchema& schema() const { return schema_; }
+
+  /// Binds every attribute of `phys` that occurs in the result schema to
+  /// the corresponding value of tuple `t`.
+  void Bind(const storage::Schema& phys, const Value* t) {
+    for (std::uint32_t i = 0; i < phys.arity(); ++i) {
+      const std::uint32_t pos = schema_.PositionOf(phys.attr(i));
+      if (pos < values_.size()) values_[pos] = t[i];
+    }
+  }
+
+  Value ValueOf(storage::AttrId a) const {
+    return values_[schema_.PositionOf(a)];
+  }
+
+  std::span<const Value> values() const { return values_; }
+
+ private:
+  ResultSchema schema_;
+  std::vector<Value> values_;
+};
+
+/// Convenience sink that counts results.
+class CountingSink {
+ public:
+  EmitFn AsEmitFn() {
+    return [this](std::span<const Value>) { ++count_; };
+  }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Convenience sink that materializes results (tests / small instances).
+class CollectingSink {
+ public:
+  EmitFn AsEmitFn() {
+    return [this](std::span<const Value> row) {
+      results_.emplace_back(row.begin(), row.end());
+    };
+  }
+  std::vector<std::vector<Value>>& results() { return results_; }
+
+ private:
+  std::vector<std::vector<Value>> results_;
+};
+
+}  // namespace emjoin::core
+
+#endif  // EMJOIN_CORE_EMIT_H_

@@ -1,0 +1,92 @@
+#include "core/exhaustive.h"
+
+#include <cassert>
+
+#include "core/acyclic_join.h"
+#include "core/reduce.h"
+
+namespace emjoin::core {
+
+namespace {
+
+std::string ShapeKey(const query::JoinQuery& q) {
+  std::string key;
+  for (query::EdgeId e = 0; e < q.num_edges(); ++e) {
+    for (storage::AttrId a : q.edge(e).attrs()) {
+      key += std::to_string(a);
+      key += ',';
+    }
+    key += ';';
+  }
+  return key;
+}
+
+}  // namespace
+
+std::vector<BranchResult> ExhaustivePeelSearch(
+    const std::vector<storage::Relation>& rels, std::size_t max_branches) {
+  std::vector<BranchResult> out;
+  if (rels.empty()) return out;
+  extmem::Device* dev = rels.front().device();
+
+  // Reduce once so every branch joins the same instance.
+  const std::vector<storage::Relation> reduced = FullyReduce(rels);
+
+  // Current strategy: shape -> chosen index; shapes are discovered during
+  // execution. `counts` remembers how many candidates each shape offered,
+  // so the odometer below knows the radix per position.
+  std::map<std::string, std::size_t> script;
+  std::map<std::string, std::size_t> counts;
+
+  while (out.size() < max_branches) {
+    gens::LeafChooser chooser =
+        [&script, &counts](const query::JoinQuery& live,
+                           const std::vector<storage::Relation>&,
+                           const std::vector<query::EdgeId>& candidates)
+        -> std::size_t {
+      const std::string key = ShapeKey(live);
+      counts[key] = candidates.size();
+      const auto it = script.find(key);
+      if (it == script.end()) {
+        script[key] = 0;
+        return 0;
+      }
+      assert(it->second < candidates.size());
+      return it->second;
+    };
+
+    BranchResult branch;
+    const extmem::IoStats before = dev->stats();
+    CountingSink sink;
+    AcyclicJoinOptions opts;
+    opts.leaf_chooser = chooser;
+    opts.reduce_first = false;
+    AcyclicJoin(reduced, sink.AsEmitFn(), opts);
+    branch.ios = (dev->stats() - before).total();
+    branch.results = sink.count();
+    branch.script = script;
+    out.push_back(std::move(branch));
+
+    // Odometer: advance the last shape (in key order) that still has a
+    // next candidate; reset the ones after it. Note newly-discovered
+    // shapes in later runs extend the odometer automatically.
+    bool advanced = false;
+    for (auto it = script.rbegin(); it != script.rend(); ++it) {
+      const std::size_t radix = counts[it->first];
+      if (it->second + 1 < radix) {
+        ++it->second;
+        // Reset all positions after this one (in forward order).
+        for (auto jt = script.upper_bound(it->first); jt != script.end();
+             ++jt) {
+          jt->second = 0;
+        }
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  return out;
+}
+
+}  // namespace emjoin::core

@@ -1,0 +1,36 @@
+#ifndef EMJOIN_CORE_EXHAUSTIVE_H_
+#define EMJOIN_CORE_EXHAUSTIVE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/emit.h"
+#include "storage/relation.h"
+
+namespace emjoin::core {
+
+/// One deterministic peel strategy of Algorithm 2 and its measured cost.
+struct BranchResult {
+  /// Canonical live-query shape -> chosen candidate index. A strategy is
+  /// uniform: every recursive call whose live query has the same shape
+  /// makes the same choice, mirroring how a GenS branch fixes the peel
+  /// per sub-query.
+  std::map<std::string, std::size_t> script;
+  std::uint64_t ios = 0;
+  std::uint64_t results = 0;
+};
+
+/// The literal counterpart of the paper's round-robin simulation of the
+/// nondeterministic Algorithm 2: enumerates every uniform peel strategy
+/// (discovering choice points on the fly), runs the join once per
+/// strategy, and returns each branch's exact I/O cost. The minimum entry
+/// is the cost the round-robin simulation attains up to the constant
+/// interleaving factor. `max_branches` caps the enumeration.
+std::vector<BranchResult> ExhaustivePeelSearch(
+    const std::vector<storage::Relation>& rels,
+    std::size_t max_branches = 64);
+
+}  // namespace emjoin::core
+
+#endif  // EMJOIN_CORE_EXHAUSTIVE_H_

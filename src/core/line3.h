@@ -1,0 +1,37 @@
+#ifndef EMJOIN_CORE_LINE3_H_
+#define EMJOIN_CORE_LINE3_H_
+
+#include "core/emit.h"
+#include "storage/relation.h"
+
+namespace emjoin::core {
+
+/// Algorithm 1: the I/O-optimal 3-relation line join
+/// R1(v1,v2) ⋈ R2(v2,v3) ⋈ R3(v3,v4), Õ(N1·N3/(MB) + ΣN/B) I/Os
+/// (Theorem 1). The relations must form a line (r1–r2 and r2–r3 each
+/// share exactly one attribute, r1 and r3 none).
+///
+/// Heavy v2-values in R1 are handled by materializing R2|v2=a ⋈ R3 and
+/// nested-looping R1|v2=a against it; light values are chunked through
+/// memory with semijoined R2 and a sort-merge against R3 (§3).
+void LineJoin3(const storage::Relation& r1, const storage::Relation& r2,
+               const storage::Relation& r3, const EmitFn& emit,
+               bool reduce_first = true);
+
+/// LineJoin3 binding into an existing assignment (no reduction; used as a
+/// building block by Algorithms 4–5 and the L6/L7 compositions).
+void LineJoin3UnderAssignment(const storage::Relation& r1,
+                              const storage::Relation& r2,
+                              const storage::Relation& r3,
+                              Assignment* assignment, const EmitFn& emit);
+
+/// Variant that writes the results to disk as a relation over the result
+/// schema of (r1, r2, r3), charging the output writes. Used by
+/// Algorithms 4 and 5, which explicitly store these intermediates.
+storage::Relation LineJoin3ToDisk(const storage::Relation& r1,
+                                  const storage::Relation& r2,
+                                  const storage::Relation& r3);
+
+}  // namespace emjoin::core
+
+#endif  // EMJOIN_CORE_LINE3_H_

@@ -1,0 +1,34 @@
+#ifndef EMJOIN_CORE_LW_H_
+#define EMJOIN_CORE_LW_H_
+
+#include <vector>
+
+#include "core/emit.h"
+#include "storage/relation.h"
+
+namespace emjoin::core {
+
+/// Loomis–Whitney joins LW_n (Table 1, row 3; [6] in the paper): over
+/// attributes {v_1..v_n}, relation e_i spans all attributes except v_i.
+/// LW_3 is the triangle query. The paper lists the external-memory cost
+/// Π_i (N_i/M)^{1/(n-1)} · M/B from Hu, Qiao and Tao, with optimality
+/// unknown — included here as the cyclic companion of the acyclic
+/// algorithms, using the value-partitioning scheme generalized from the
+/// triangle case: hash every attribute's domain into p groups, sort each
+/// relation by its group vector, and solve each of the p^n cells in
+/// memory. With light values each cell holds O(N/p^{n-1}) tuples per
+/// relation, giving Õ(p · ΣN_i / B) = Õ(N^{n/(n-1)} / (M^{1/(n-1)} B))
+/// I/Os for equal sizes.
+///
+/// `rels` must form an LW query (n relations of arity n-1 whose missing
+/// attributes are distinct), n >= 3. Emits assignments over
+/// MakeResultSchema(rels).
+void LoomisWhitneyJoin(const std::vector<storage::Relation>& rels,
+                       const EmitFn& emit);
+
+/// True if the schemas form a Loomis–Whitney query.
+bool IsLoomisWhitney(const std::vector<storage::Relation>& rels);
+
+}  // namespace emjoin::core
+
+#endif  // EMJOIN_CORE_LW_H_

@@ -1,0 +1,113 @@
+#include "core/pairwise.h"
+
+#include <cassert>
+
+namespace emjoin::core {
+
+namespace {
+
+// Emits all combinations of a memory-resident chunk with one streamed
+// tuple that agree on the chunk-vs-tuple shared attributes.
+void EmitChunkMatches(const storage::MemChunk& chunk,
+                      const storage::Schema& streamed_schema, const Value* t,
+                      Assignment* base, const EmitFn& emit) {
+  for (TupleCount i = 0; i < chunk.size(); ++i) {
+    const storage::TupleRef c = chunk.tuple(i);
+    if (!storage::TuplesJoinable(c, chunk.schema(),
+                                 {t, streamed_schema.arity()},
+                                 streamed_schema)) {
+      continue;
+    }
+    base->Bind(chunk.schema(), c.data());
+    base->Bind(streamed_schema, t);
+    emit(base->values());
+  }
+}
+
+}  // namespace
+
+void BlockNestedLoopJoin(const Relation& outer, const Relation& inner,
+                         Assignment* base, const EmitFn& emit) {
+  extmem::Device* dev = outer.device();
+  extmem::FileReader outer_reader(outer.range());
+  storage::MemChunk chunk;
+  while (storage::LoadChunk(outer_reader, outer.schema(), dev, dev->M(),
+                            &chunk)) {
+    extmem::FileReader inner_reader(inner.range());
+    while (!inner_reader.Done()) {
+      const Value* t = inner_reader.Next();
+      EmitChunkMatches(chunk, inner.schema(), t, base, emit);
+    }
+  }
+}
+
+void SortMergeJoin(const Relation& r1, const Relation& r2, Assignment* base,
+                   const EmitFn& emit) {
+  const std::vector<storage::AttrId> common =
+      r1.schema().CommonAttrs(r2.schema());
+  if (common.empty()) {
+    BlockNestedLoopJoin(r1, r2, base, emit);
+    return;
+  }
+  assert(common.size() == 1 && "Berge-acyclic: at most one shared attribute");
+  const storage::AttrId v = common.front();
+
+  const Relation s1 = r1.SortedBy(v);
+  const Relation s2 = r2.SortedBy(v);
+  extmem::Device* dev = r1.device();
+  const TupleCount m = dev->M();
+
+  storage::GroupCursor c1(s1, v);
+  storage::GroupCursor c2(s2, v);
+  while (!c1.Done() && !c2.Done()) {
+    if (c1.value() < c2.value()) {
+      c1.Advance();
+      continue;
+    }
+    if (c2.value() < c1.value()) {
+      c2.Advance();
+      continue;
+    }
+    const Relation g1 = c1.group();
+    const Relation g2 = c2.group();
+    if (g1.size() >= m && g2.size() >= m) {
+      // Heavy on both sides: block nested loop within the value.
+      BlockNestedLoopJoin(g1, g2, base, emit);
+    } else {
+      // Load the lighter group, stream the other.
+      const Relation& small = g1.size() <= g2.size() ? g1 : g2;
+      const Relation& large = g1.size() <= g2.size() ? g2 : g1;
+      extmem::FileReader small_reader(small.range());
+      storage::MemChunk chunk;
+      storage::LoadChunk(small_reader, small.schema(), dev, small.size(),
+                         &chunk);
+      extmem::FileReader large_reader(large.range());
+      while (!large_reader.Done()) {
+        EmitChunkMatches(chunk, large.schema(), large_reader.Next(), base,
+                         emit);
+      }
+    }
+    c1.Advance();
+    c2.Advance();
+  }
+}
+
+Relation JoinToDisk(const Relation& r1, const Relation& r2) {
+  extmem::ScopedIoTag tag(r1.device(), "materialize");
+  const storage::Schema joined =
+      storage::JoinedSchema(r1.schema(), r2.schema());
+  extmem::Device* dev = r1.device();
+  extmem::FilePtr out = dev->NewFile(joined.arity());
+  extmem::FileWriter writer(out);
+
+  std::vector<storage::Relation> pair = {r1, r2};
+  Assignment assignment(ResultSchema{joined.attrs()});
+  // The assignment's attribute order equals the joined schema's order, so
+  // emitted rows can be appended verbatim.
+  SortMergeJoin(r1, r2, &assignment,
+                [&](std::span<const Value> row) { writer.Append(row); });
+  writer.Finish();
+  return Relation(joined, extmem::FileRange(out));
+}
+
+}  // namespace emjoin::core

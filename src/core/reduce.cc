@@ -1,0 +1,99 @@
+#include "core/reduce.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "query/join_tree.h"
+
+namespace emjoin::core {
+
+Relation SemiJoin(const Relation& rel, const Relation& filter,
+                  storage::AttrId a) {
+  extmem::ScopedIoTag tag(rel.device(), "semijoin");
+  const Relation left = rel.SortedBy(a);
+  const Relation right = filter.SortedBy(a);
+  const std::uint32_t lcol = *left.schema().PositionOf(a);
+  const std::uint32_t rcol = *right.schema().PositionOf(a);
+
+  extmem::Device* dev = rel.device();
+  extmem::FilePtr out = dev->NewFile(left.schema().arity());
+  extmem::FileWriter writer(out);
+
+  extmem::FileReader lr(left.range());
+  extmem::FileReader rr(right.range());
+  bool have_r = !rr.Done();
+  Value rv = 0;
+  if (have_r) rv = rr.Next()[rcol];
+
+  while (!lr.Done()) {
+    const Value* t = lr.Next();
+    const Value lv = t[lcol];
+    while (have_r && rv < lv) {
+      if (rr.Done()) {
+        have_r = false;
+      } else {
+        rv = rr.Next()[rcol];
+      }
+    }
+    if (have_r && rv == lv) {
+      writer.Append({t, left.schema().arity()});
+    }
+  }
+  writer.Finish();
+  return Relation(left.schema(), extmem::FileRange(out), a);
+}
+
+Relation SemiJoinValues(const Relation& rel, storage::AttrId a,
+                        std::span<const Value> values) {
+  extmem::ScopedIoTag tag(rel.device(), "semijoin");
+  assert(rel.IsSortedBy(a));
+  assert(std::is_sorted(values.begin(), values.end()));
+  const std::uint32_t col = *rel.schema().PositionOf(a);
+  extmem::Device* dev = rel.device();
+  extmem::FilePtr out = dev->NewFile(rel.schema().arity());
+  extmem::FileWriter writer(out);
+
+  if (!values.empty()) {
+    // Narrow to the value interval, then scan and filter by membership.
+    const Relation lo = rel.EqualRange(a, values.front());
+    const Relation hi = rel.EqualRange(a, values.back());
+    const TupleCount begin = lo.range().begin - rel.range().begin;
+    const TupleCount end = hi.range().end - rel.range().begin;
+    const Relation span_rel = rel.Slice(begin, end);
+    extmem::FileReader reader(span_rel.range());
+    while (!reader.Done()) {
+      const Value* t = reader.Next();
+      if (std::binary_search(values.begin(), values.end(), t[col])) {
+        writer.Append({t, rel.schema().arity()});
+      }
+    }
+  }
+  writer.Finish();
+  return Relation(rel.schema(), extmem::FileRange(out), a);
+}
+
+std::vector<Relation> FullyReduce(const std::vector<Relation>& rels) {
+  query::JoinQuery q;
+  for (const Relation& r : rels) q.AddRelation(r.schema(), r.size());
+  assert(q.IsBergeAcyclic());
+  const query::JoinTree tree = query::BuildJoinTree(q);
+
+  std::vector<Relation> work = rels;
+
+  // Upward sweep: children filter parents (bottom-up order).
+  for (query::EdgeId e : tree.bottom_up) {
+    if (tree.parent[e] < 0) continue;
+    const query::EdgeId p = static_cast<query::EdgeId>(tree.parent[e]);
+    work[p] = SemiJoin(work[p], work[e], tree.parent_attr[e]);
+  }
+  // Downward sweep: parents filter children (top-down order).
+  for (auto it = tree.bottom_up.rbegin(); it != tree.bottom_up.rend(); ++it) {
+    const query::EdgeId e = *it;
+    for (query::EdgeId c : tree.children[e]) {
+      work[c] = SemiJoin(work[c], work[e], tree.parent_attr[c]);
+    }
+  }
+  return work;
+}
+
+}  // namespace emjoin::core

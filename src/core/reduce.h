@@ -1,0 +1,37 @@
+#ifndef EMJOIN_CORE_REDUCE_H_
+#define EMJOIN_CORE_REDUCE_H_
+
+#include <span>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace emjoin::core {
+
+using storage::Relation;
+
+/// rel ⋉_a filter: the tuples of `rel` whose value on attribute `a` also
+/// occurs in `filter`. Sorts both sides by `a` if needed, then one merge
+/// scan; the result is written to a new file, sorted by `a`. Õ((|rel| +
+/// |filter|)/B) I/Os.
+Relation SemiJoin(const Relation& rel, const Relation& filter,
+                  storage::AttrId a);
+
+/// rel ⋉_a values: tuples of `rel` (sorted by `a`) whose `a`-value is in
+/// `values` (ascending, memory-resident — the caller accounts for them).
+/// Only the file range spanning [values.front(), values.back()] is
+/// scanned. Result written to a new file, sorted by `a`.
+Relation SemiJoinValues(const Relation& rel, storage::AttrId a,
+                        std::span<const Value> values);
+
+/// Removes all dangling tuples (tuples that do not participate in any
+/// join result): Yannakakis' first phase, two semijoin sweeps along a
+/// join tree of the (Berge-acyclic) query. Õ(ΣN/B) I/Os.
+///
+/// The paper's optimality statements assume fully reduced instances; the
+/// top-level join entry points call this first.
+std::vector<Relation> FullyReduce(const std::vector<Relation>& rels);
+
+}  // namespace emjoin::core
+
+#endif  // EMJOIN_CORE_REDUCE_H_

@@ -1,0 +1,25 @@
+#ifndef EMJOIN_CORE_REFERENCE_H_
+#define EMJOIN_CORE_REFERENCE_H_
+
+#include <vector>
+
+#include "core/emit.h"
+#include "storage/relation.h"
+
+namespace emjoin::core {
+
+/// In-memory reference join: enumerates every result of the natural join
+/// of `rels` (any query shape, cyclic or not) by backtracking, with zero
+/// I/O accounting. Test/verification oracle only.
+///
+/// Returns the results as assignments over MakeResultSchema(rels), sorted
+/// lexicographically for stable comparison.
+std::vector<std::vector<Value>> ReferenceJoin(
+    const std::vector<storage::Relation>& rels);
+
+/// Number of results of the natural join (reference oracle).
+std::uint64_t ReferenceJoinCount(const std::vector<storage::Relation>& rels);
+
+}  // namespace emjoin::core
+
+#endif  // EMJOIN_CORE_REFERENCE_H_

@@ -1,0 +1,37 @@
+#ifndef EMJOIN_CORE_TRIANGLE_H_
+#define EMJOIN_CORE_TRIANGLE_H_
+
+#include "core/emit.h"
+#include "storage/relation.h"
+
+namespace emjoin::core {
+
+/// The triangle query C3 (Table 1, row 2; [7, 12] in the paper):
+///
+///   R1(v1,v2) ⋈ R2(v1,v3) ⋈ R3(v2,v3)
+///
+/// is the simplest cyclic join. For equal relation sizes N the known
+/// worst-case optimal external-memory cost is Õ(N^{3/2} / (√M · B)).
+/// This implements the value-partitioning scheme: hash each attribute's
+/// domain into p ≈ √(cN/M) groups, pre-sort each relation by its group
+/// pair, and for each of the p³ group triples join the three contiguous
+/// sub-relations in memory. With light values (degree ≤ N/p) each
+/// sub-relation holds O(N/p²) tuples; heavy values are handled by an
+/// extra splitting level. Included as the paper's cyclic point of
+/// comparison — the acyclic machinery (GenS, Algorithm 2) does not apply
+/// here, which is exactly the contrast Table 1 draws.
+///
+/// Emits assignments over MakeResultSchema({r1, r2, r3}).
+void TriangleJoin(const storage::Relation& r1, const storage::Relation& r2,
+                  const storage::Relation& r3, const EmitFn& emit);
+
+/// Baseline for the gap experiment: materializes R1 ⋈ R2 on disk (size up
+/// to N²/values) and merge-filters it against R3. Õ(|R1⋈R2|/B) I/Os.
+void TriangleViaMaterialization(const storage::Relation& r1,
+                                const storage::Relation& r2,
+                                const storage::Relation& r3,
+                                const EmitFn& emit);
+
+}  // namespace emjoin::core
+
+#endif  // EMJOIN_CORE_TRIANGLE_H_

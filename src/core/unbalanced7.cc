@@ -1,0 +1,41 @@
+#include "core/unbalanced7.h"
+
+#include <cassert>
+
+#include "core/acyclic_join.h"
+#include "core/line3.h"
+#include "core/reduce.h"
+
+namespace emjoin::core {
+
+void LineJoinUnbalanced7UnderAssignment(
+    const std::vector<storage::Relation>& rels, Assignment* assignment,
+    const EmitFn& emit) {
+  assert(rels.size() == 7);
+  extmem::Device* dev = rels.front().device();
+
+  // Line 1: S = R3 ⋈ R4 ⋈ R5, stored on disk. S becomes one hyperedge
+  // {v3, v4, v5, v6}; the composed query {R1, R2, S, R6, R7} is an
+  // acyclic 5-edge query.
+  const storage::Relation s = LineJoin3ToDisk(rels[2], rels[3], rels[4]);
+
+  // Lines 2–3: AcyclicJoin on the composed instance. Reduce it first (S
+  // may contain tuples dangling with respect to R2 / R6).
+  std::vector<storage::Relation> composed = {rels[0], rels[1], s, rels[5],
+                                             rels[6]};
+  composed = FullyReduce(composed);
+
+  AcyclicJoinUnderAssignment(composed, assignment, emit,
+                             gens::CostGuidedChooser(dev->M(), dev->B()));
+}
+
+void LineJoinUnbalanced7(const std::vector<storage::Relation>& rels,
+                         const EmitFn& emit, bool reduce_first) {
+  assert(rels.size() == 7);
+  std::vector<storage::Relation> in = rels;
+  if (reduce_first) in = FullyReduce(in);
+  Assignment assignment(MakeResultSchema(rels));
+  LineJoinUnbalanced7UnderAssignment(in, &assignment, emit);
+}
+
+}  // namespace emjoin::core

@@ -1,0 +1,30 @@
+#ifndef EMJOIN_CORE_UNBALANCED7_H_
+#define EMJOIN_CORE_UNBALANCED7_H_
+
+#include <vector>
+
+#include "core/emit.h"
+#include "storage/relation.h"
+
+namespace emjoin::core {
+
+/// Algorithm 5: LineJoinUnbalanced7 — optimal for a 7-relation line join
+/// with alternating optimal edge cover (1,0,1,0,1,0,1) when any of the
+/// three balance conditions breaks (§6.3, Appendix A.3):
+///
+///   1. S = R3 ⋈ R4 ⋈ R5 (Algorithm 1), written to disk;
+///   2. run AcyclicJoin on {R1, R2, S, R6, R7}.
+///
+/// `rels` must be the 7 relations in line order.
+void LineJoinUnbalanced7(const std::vector<storage::Relation>& rels,
+                         const EmitFn& emit, bool reduce_first = true);
+
+/// Algorithm 5 binding into an existing assignment (input must already be
+/// fully reduced; `rels` in line order).
+void LineJoinUnbalanced7UnderAssignment(
+    const std::vector<storage::Relation>& rels, Assignment* assignment,
+    const EmitFn& emit);
+
+}  // namespace emjoin::core
+
+#endif  // EMJOIN_CORE_UNBALANCED7_H_

@@ -1,0 +1,50 @@
+#include "core/yannakakis.h"
+
+#include <cassert>
+
+#include "core/pairwise.h"
+#include "core/reduce.h"
+#include "query/join_tree.h"
+
+namespace emjoin::core {
+
+YannakakisReport YannakakisJoin(const std::vector<storage::Relation>& rels,
+                                const EmitFn& emit, bool reduce_first) {
+  YannakakisReport report;
+  if (rels.empty()) return report;
+
+  std::vector<storage::Relation> work = rels;
+  if (reduce_first) work = FullyReduce(work);
+
+  query::JoinQuery q;
+  for (const storage::Relation& r : work) q.AddRelation(r.schema(), r.size());
+  const query::JoinTree tree = query::BuildJoinTree(q);
+
+  // Bottom-up pairwise joins: each child's accumulated result is joined
+  // into its parent, materialized on disk.
+  std::vector<storage::Relation> acc = work;
+  for (query::EdgeId e : tree.bottom_up) {
+    if (tree.parent[e] < 0) continue;
+    const query::EdgeId p = static_cast<query::EdgeId>(tree.parent[e]);
+    acc[p] = JoinToDisk(acc[p], acc[e]);
+    report.intermediate_tuples += acc[p].size();
+  }
+
+  // Combine the roots (cross products for disconnected queries).
+  storage::Relation final_rel = acc[tree.roots.front()];
+  for (std::size_t i = 1; i < tree.roots.size(); ++i) {
+    final_rel = JoinToDisk(final_rel, acc[tree.roots[i]]);
+    report.intermediate_tuples += final_rel.size();
+  }
+
+  // Emit phase: one scan of the final result.
+  Assignment assignment(MakeResultSchema(rels));
+  extmem::FileReader reader(final_rel.range());
+  while (!reader.Done()) {
+    assignment.Bind(final_rel.schema(), reader.Next());
+    emit(assignment.values());
+  }
+  return report;
+}
+
+}  // namespace emjoin::core

@@ -1,0 +1,156 @@
+#include "counting/cardinality.h"
+
+#include <cassert>
+#include <functional>
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "query/join_tree.h"
+
+namespace emjoin::counting {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t ToU64(u128 x) {
+  return x > static_cast<u128>(kSaturated) ? kSaturated
+                                           : static_cast<std::uint64_t>(x);
+}
+
+u128 CapMul(u128 a, u128 b) {
+  if (a == 0 || b == 0) return 0;
+  // Cap at 2^96 to avoid overflow of u128 while staying > 2^64.
+  constexpr u128 kCap = static_cast<u128>(1) << 96;
+  if (a > kCap / b) return kCap;
+  return a * b;
+}
+
+}  // namespace
+
+std::uint64_t JoinSize(const std::vector<storage::Relation>& rels) {
+  if (rels.empty()) return 1;  // empty join = the empty tuple
+
+  query::JoinQuery q;
+  for (const auto& r : rels) q.AddRelation(r.schema(), r.size());
+  assert(q.IsBergeAcyclic());
+  const query::JoinTree tree = query::BuildJoinTree(q);
+
+  // W[e] maps the value of e's parent attribute to the summed count of
+  // join combinations within e's subtree having that value.
+  std::vector<std::unordered_map<Value, u128>> weight(rels.size());
+  std::vector<u128> root_total(rels.size(), 0);
+
+  for (query::EdgeId e : tree.bottom_up) {
+    const storage::Relation& rel = rels[e];
+    const storage::Schema& schema = rel.schema();
+
+    // Column positions of each child's shared attribute within e.
+    std::vector<std::pair<std::uint32_t, query::EdgeId>> child_cols;
+    for (query::EdgeId c : tree.children[e]) {
+      const auto pos = schema.PositionOf(tree.parent_attr[c]);
+      assert(pos.has_value());
+      child_cols.push_back({*pos, c});
+    }
+    std::uint32_t parent_col = 0;
+    const bool is_root = tree.parent[e] < 0;
+    if (!is_root) {
+      const auto pos = schema.PositionOf(tree.parent_attr[e]);
+      assert(pos.has_value());
+      parent_col = *pos;
+    }
+
+    const extmem::FileRange& range = rel.range();
+    for (TupleCount i = 0; i < range.size(); ++i) {
+      const Value* t = range.RawTuple(i);
+      u128 c = 1;
+      for (const auto& [col, child] : child_cols) {
+        auto it = weight[child].find(t[col]);
+        if (it == weight[child].end()) {
+          c = 0;
+          break;
+        }
+        c = CapMul(c, it->second);
+      }
+      if (c == 0) continue;
+      if (is_root) {
+        root_total[e] += c;
+      } else {
+        weight[e][t[parent_col]] += c;
+      }
+    }
+  }
+
+  u128 total = 1;
+  for (query::EdgeId r : tree.roots) total = CapMul(total, root_total[r]);
+  return ToU64(total);
+}
+
+std::uint64_t SubjoinSize(const std::vector<storage::Relation>& rels,
+                          const std::vector<std::uint32_t>& subset) {
+  std::vector<storage::Relation> sub;
+  sub.reserve(subset.size());
+  for (std::uint32_t i : subset) sub.push_back(rels[i]);
+  return JoinSize(sub);
+}
+
+std::uint64_t PartialJoinSizeBrute(const std::vector<storage::Relation>& rels,
+                                   const std::vector<std::uint32_t>& subset,
+                                   std::uint64_t limit) {
+  // Attributes to project onto.
+  std::vector<storage::AttrId> proj_attrs;
+  for (std::uint32_t i : subset) {
+    for (storage::AttrId a : rels[i].schema().attrs()) {
+      bool seen = false;
+      for (storage::AttrId b : proj_attrs) seen = seen || (b == a);
+      if (!seen) proj_attrs.push_back(a);
+    }
+  }
+
+  std::set<std::vector<Value>> projections;
+  std::unordered_map<storage::AttrId, Value> assignment;
+  std::uint64_t visited = 0;
+  bool truncated = false;
+
+  std::function<void(std::size_t)> recurse = [&](std::size_t level) {
+    if (truncated) return;
+    if (level == rels.size()) {
+      ++visited;
+      std::vector<Value> p;
+      p.reserve(proj_attrs.size());
+      for (storage::AttrId a : proj_attrs) p.push_back(assignment.at(a));
+      projections.insert(std::move(p));
+      if (limit > 0 && visited >= limit) truncated = true;
+      return;
+    }
+    const storage::Relation& rel = rels[level];
+    const storage::Schema& schema = rel.schema();
+    const extmem::FileRange& range = rel.range();
+    for (TupleCount i = 0; i < range.size() && !truncated; ++i) {
+      const Value* t = range.RawTuple(i);
+      bool compatible = true;
+      std::vector<storage::AttrId> newly_bound;
+      for (std::uint32_t c = 0; c < schema.arity(); ++c) {
+        const storage::AttrId a = schema.attr(c);
+        auto it = assignment.find(a);
+        if (it == assignment.end()) {
+          assignment[a] = t[c];
+          newly_bound.push_back(a);
+        } else if (it->second != t[c]) {
+          compatible = false;
+          break;
+        }
+      }
+      if (compatible) recurse(level + 1);
+      for (storage::AttrId a : newly_bound) assignment.erase(a);
+    }
+  };
+  recurse(0);
+  assert(!truncated && "PartialJoinSizeBrute hit its visit limit");
+  return projections.size();
+}
+
+}  // namespace emjoin::counting

@@ -1,0 +1,34 @@
+#ifndef EMJOIN_COUNTING_CARDINALITY_H_
+#define EMJOIN_COUNTING_CARDINALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/hypergraph.h"
+#include "storage/relation.h"
+
+namespace emjoin::counting {
+
+/// Exact size of the natural join of `rels`, whose schemas must form a
+/// Berge-acyclic hypergraph. Disconnected sets multiply (cross product).
+///
+/// This is a planner/test *oracle*: it reads tuple data without charging
+/// I/O, in O(total tuples) time via join-tree dynamic programming. It is
+/// never called on the algorithms' measured path. Saturates at UINT64_MAX.
+std::uint64_t JoinSize(const std::vector<storage::Relation>& rels);
+
+/// JoinSize restricted to the subset `subset` of `rels`.
+std::uint64_t SubjoinSize(const std::vector<storage::Relation>& rels,
+                          const std::vector<std::uint32_t>& subset);
+
+/// Exact size of the partial join Q(R, S): the projection of the full
+/// join result onto the attributes of `subset` (§1.4). Brute-force
+/// enumeration with deduplication — only use on small instances (tests);
+/// `limit` caps the number of full-join results visited (0 = no cap).
+std::uint64_t PartialJoinSizeBrute(const std::vector<storage::Relation>& rels,
+                                   const std::vector<std::uint32_t>& subset,
+                                   std::uint64_t limit = 0);
+
+}  // namespace emjoin::counting
+
+#endif  // EMJOIN_COUNTING_CARDINALITY_H_

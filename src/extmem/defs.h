@@ -1,0 +1,19 @@
+#ifndef EMJOIN_EXTMEM_DEFS_H_
+#define EMJOIN_EXTMEM_DEFS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace emjoin {
+
+/// Attribute value. The paper treats tuples as constant-size records of
+/// attribute values drawn from arbitrary domains; we use 64-bit integers.
+using Value = std::uint64_t;
+
+/// Number of tuples. All capacities (M, B, relation sizes) are measured in
+/// tuples, following the paper's convention that tuple width is constant.
+using TupleCount = std::uint64_t;
+
+}  // namespace emjoin
+
+#endif  // EMJOIN_EXTMEM_DEFS_H_

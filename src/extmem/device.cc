@@ -1,0 +1,51 @@
+#include "extmem/device.h"
+
+#include <cassert>
+#include <map>
+#include <string>
+
+#include "extmem/file.h"
+
+namespace emjoin::extmem {
+
+Device::Device(TupleCount memory_tuples, TupleCount block_tuples)
+    : memory_tuples_(memory_tuples),
+      block_tuples_(block_tuples),
+      gauge_(memory_tuples) {
+  assert(block_tuples >= 1);
+  assert(block_tuples <= memory_tuples);
+}
+
+std::shared_ptr<DiskFile> Device::NewFile(std::uint32_t width) {
+  return std::make_shared<DiskFile>(this, width);
+}
+
+std::string Device::TagReport() const {
+  // Merge by string content (equal literals may have distinct addresses
+  // across translation units).
+  std::map<std::string, IoStats> merged;
+  for (const auto& [tag, stats] : per_tag_) {
+    IoStats& s = merged[tag];
+    s.block_reads += stats.block_reads;
+    s.block_writes += stats.block_writes;
+  }
+  std::string out;
+  for (const auto& [tag, stats] : merged) {
+    if (stats.total() == 0) continue;
+    if (!out.empty()) out += ", ";
+    out += tag;
+    out += "=";
+    out += std::to_string(stats.total());
+  }
+  return out;
+}
+
+void Device::ChargeReadTuples(TupleCount tuples) {
+  if (tuples > 0) stats_.block_reads += BlocksFor(tuples);
+}
+
+void Device::ChargeWriteTuples(TupleCount tuples) {
+  if (tuples > 0) stats_.block_writes += BlocksFor(tuples);
+}
+
+}  // namespace emjoin::extmem

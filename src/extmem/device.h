@@ -1,0 +1,112 @@
+#ifndef EMJOIN_EXTMEM_DEVICE_H_
+#define EMJOIN_EXTMEM_DEVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "extmem/defs.h"
+#include "extmem/io_stats.h"
+#include "extmem/memory_gauge.h"
+
+namespace emjoin::extmem {
+
+class DiskFile;
+
+/// Simulated external-memory device (Aggarwal–Vitter model).
+///
+/// The device is configured with a memory size `M` and a block size `B`,
+/// both in tuples. Every transfer of `k` consecutive tuples between disk
+/// and memory is charged `ceil(k / B)` I/Os to `stats()` (sequential
+/// readers/writers charge per block actually crossed). File contents are
+/// RAM-backed: this changes wall-clock time only, never the I/O counts,
+/// which is what the paper's cost model measures.
+class Device {
+ public:
+  /// @param memory_tuples  M: number of tuples that fit in main memory.
+  /// @param block_tuples   B: number of tuples per disk block. Must satisfy
+  ///                       1 <= B <= M.
+  Device(TupleCount memory_tuples, TupleCount block_tuples);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  TupleCount M() const { return memory_tuples_; }
+  TupleCount B() const { return block_tuples_; }
+
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+  MemoryGauge& gauge() { return gauge_; }
+
+  /// Creates an empty file whose tuples have `width` values each.
+  std::shared_ptr<DiskFile> NewFile(std::uint32_t width);
+
+  /// Charges I/Os for a bulk transfer of `tuples` tuples (ceil division).
+  void ChargeReadTuples(TupleCount tuples);
+  void ChargeWriteTuples(TupleCount tuples);
+
+  void ChargeReadBlocks(std::uint64_t blocks) {
+    stats_.block_reads += blocks;
+    TagEntry()->block_reads += blocks;
+  }
+  void ChargeWriteBlocks(std::uint64_t blocks) {
+    stats_.block_writes += blocks;
+    TagEntry()->block_writes += blocks;
+  }
+
+  /// Blocks needed to hold `tuples` tuples.
+  std::uint64_t BlocksFor(TupleCount tuples) const {
+    return (tuples + block_tuples_ - 1) / block_tuples_;
+  }
+
+  /// Sets the attribution tag for subsequent charges (see ScopedIoTag).
+  /// `tag` must be a string literal (stored by pointer).
+  const char* set_tag(const char* tag) {
+    const char* prev = tag_;
+    tag_ = tag;
+    tag_entry_ = &per_tag_[tag];
+    return prev;
+  }
+
+  /// Per-operation I/O breakdown ("scan", "sort", "semijoin", ...).
+  const std::map<const char*, IoStats>& per_tag() const { return per_tag_; }
+
+  /// Human-readable per-tag breakdown.
+  std::string TagReport() const;
+
+ private:
+  TupleCount memory_tuples_;
+  TupleCount block_tuples_;
+  IoStats stats_;
+  MemoryGauge gauge_;
+  IoStats* TagEntry() {
+    if (tag_entry_ == nullptr) tag_entry_ = &per_tag_[tag_];
+    return tag_entry_;
+  }
+
+  const char* tag_ = "scan";
+  IoStats* tag_entry_ = nullptr;
+  std::map<const char*, IoStats> per_tag_;
+};
+
+/// RAII I/O-attribution scope: all charges on `device` between
+/// construction and destruction are attributed to `tag` in
+/// Device::per_tag() (totals in stats() are unaffected).
+class ScopedIoTag {
+ public:
+  ScopedIoTag(Device* device, const char* tag)
+      : device_(device), prev_(device->set_tag(tag)) {}
+  ~ScopedIoTag() { device_->set_tag(prev_); }
+  ScopedIoTag(const ScopedIoTag&) = delete;
+  ScopedIoTag& operator=(const ScopedIoTag&) = delete;
+
+ private:
+  Device* device_;
+  const char* prev_;
+};
+
+}  // namespace emjoin::extmem
+
+#endif  // EMJOIN_EXTMEM_DEVICE_H_

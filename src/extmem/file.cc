@@ -1,0 +1,6 @@
+#include "extmem/file.h"
+
+// DiskFile, FileRange, FileReader and FileWriter are header-only; this
+// translation unit anchors the component in the archive.
+
+namespace emjoin::extmem {}  // namespace emjoin::extmem

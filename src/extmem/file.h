@@ -1,0 +1,183 @@
+#ifndef EMJOIN_EXTMEM_FILE_H_
+#define EMJOIN_EXTMEM_FILE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "extmem/defs.h"
+#include "extmem/device.h"
+
+namespace emjoin::extmem {
+
+/// A disk-resident sequence of fixed-width tuples.
+///
+/// Storage is RAM-backed; all I/O charging is done by `FileReader` /
+/// `FileWriter` (sequential, block-buffered) or by explicit
+/// `Device::Charge*` calls for bulk transfers. Code outside this component
+/// must never touch `RawTuple` without going through a reader, except for
+/// oracle/test code that is explicitly exempt from the cost model.
+class DiskFile {
+ public:
+  DiskFile(Device* device, std::uint32_t width)
+      : device_(device), width_(width) {
+    assert(width > 0);
+  }
+
+  DiskFile(const DiskFile&) = delete;
+  DiskFile& operator=(const DiskFile&) = delete;
+
+  Device* device() const { return device_; }
+
+  /// Values per tuple.
+  std::uint32_t width() const { return width_; }
+
+  /// Number of tuples in the file.
+  TupleCount size() const { return data_.size() / width_; }
+
+  /// Uncharged access to tuple `i` (readers charge I/O themselves).
+  const Value* RawTuple(TupleCount i) const {
+    assert(i < size());
+    return data_.data() + i * width_;
+  }
+
+  /// Uncharged append of one tuple (writers charge I/O themselves).
+  void AppendRaw(std::span<const Value> tuple) {
+    assert(tuple.size() == width_);
+    data_.insert(data_.end(), tuple.begin(), tuple.end());
+  }
+
+  /// Uncharged in-place whole-file sort hook used by the external sorter
+  /// for single-run inputs that fit in memory.
+  std::vector<Value>& MutableData() { return data_; }
+
+ private:
+  Device* device_;
+  std::uint32_t width_;
+  std::vector<Value> data_;
+};
+
+using FilePtr = std::shared_ptr<DiskFile>;
+
+/// A contiguous range [begin, end) of tuples within a file. This is the
+/// unit all operators work on: after sorting by an attribute, the tuples
+/// matching one value (or one value range) form a FileRange, which can be
+/// handed to a sub-operator without copying (the paper's `R(e')|v=a`).
+struct FileRange {
+  FilePtr file;
+  TupleCount begin = 0;
+  TupleCount end = 0;
+
+  FileRange() = default;
+  FileRange(FilePtr f, TupleCount b, TupleCount e)
+      : file(std::move(f)), begin(b), end(e) {}
+
+  /// Whole-file range.
+  explicit FileRange(FilePtr f) : file(std::move(f)) {
+    end = file->size();
+  }
+
+  TupleCount size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  std::uint32_t width() const { return file->width(); }
+
+  FileRange Sub(TupleCount b, TupleCount e) const {
+    assert(begin + e <= end && b <= e);
+    return FileRange(file, begin + b, begin + e);
+  }
+
+  /// Uncharged access relative to the range start.
+  const Value* RawTuple(TupleCount i) const {
+    return file->RawTuple(begin + i);
+  }
+};
+
+/// Sequential, block-buffered reader over a FileRange. Charges one block
+/// read each time the cursor enters a block it has not yet read.
+class FileReader {
+ public:
+  explicit FileReader(FileRange range)
+      : range_(std::move(range)),
+        pos_(range_.begin),
+        last_block_(~std::uint64_t{0}) {}
+
+  bool Done() const { return pos_ >= range_.end; }
+
+  /// Returns the next tuple and advances. Charges I/O on block boundaries.
+  const Value* Next() {
+    assert(!Done());
+    ChargeIfNewBlock();
+    const Value* t = range_.file->RawTuple(pos_);
+    ++pos_;
+    return t;
+  }
+
+  /// Peeks at the next tuple without advancing (still charges the block,
+  /// since the block must be resident to inspect it).
+  const Value* Peek() {
+    assert(!Done());
+    ChargeIfNewBlock();
+    return range_.file->RawTuple(pos_);
+  }
+
+  /// Tuples remaining.
+  TupleCount Remaining() const { return range_.end - pos_; }
+
+  /// Absolute position in the underlying file.
+  TupleCount position() const { return pos_; }
+
+ private:
+  void ChargeIfNewBlock() {
+    const std::uint64_t block = pos_ / range_.file->device()->B();
+    if (block != last_block_) {
+      range_.file->device()->ChargeReadBlocks(1);
+      last_block_ = block;
+    }
+  }
+
+  FileRange range_;
+  TupleCount pos_;
+  std::uint64_t last_block_;
+};
+
+/// Sequential, block-buffered writer appending to a DiskFile. Charges one
+/// block write per B tuples appended (plus one for a trailing partial
+/// block at Finish()).
+class FileWriter {
+ public:
+  explicit FileWriter(FilePtr file) : file_(std::move(file)) {}
+
+  ~FileWriter() { Finish(); }
+
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  void Append(std::span<const Value> tuple) {
+    file_->AppendRaw(tuple);
+    ++buffered_;
+    if (buffered_ == file_->device()->B()) {
+      file_->device()->ChargeWriteBlocks(1);
+      buffered_ = 0;
+    }
+  }
+
+  /// Flushes the trailing partial block. Idempotent.
+  void Finish() {
+    if (buffered_ > 0) {
+      file_->device()->ChargeWriteBlocks(1);
+      buffered_ = 0;
+    }
+  }
+
+  const FilePtr& file() const { return file_; }
+
+ private:
+  FilePtr file_;
+  TupleCount buffered_ = 0;
+};
+
+}  // namespace emjoin::extmem
+
+#endif  // EMJOIN_EXTMEM_FILE_H_

@@ -1,0 +1,14 @@
+#include "extmem/io_stats.h"
+
+#include <sstream>
+
+namespace emjoin::extmem {
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "reads=" << block_reads << " writes=" << block_writes
+     << " total=" << total();
+  return os.str();
+}
+
+}  // namespace emjoin::extmem

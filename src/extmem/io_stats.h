@@ -1,0 +1,32 @@
+#ifndef EMJOIN_EXTMEM_IO_STATS_H_
+#define EMJOIN_EXTMEM_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace emjoin::extmem {
+
+/// Counters for block transfers in the external-memory model.
+///
+/// One "I/O" is the transfer of one block of B tuples between disk and
+/// memory (Aggarwal–Vitter model). The simulated device charges these
+/// counters on every transfer; algorithms never touch them directly.
+struct IoStats {
+  std::uint64_t block_reads = 0;
+  std::uint64_t block_writes = 0;
+
+  std::uint64_t total() const { return block_reads + block_writes; }
+
+  IoStats operator-(const IoStats& other) const {
+    IoStats d;
+    d.block_reads = block_reads - other.block_reads;
+    d.block_writes = block_writes - other.block_writes;
+    return d;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace emjoin::extmem
+
+#endif  // EMJOIN_EXTMEM_IO_STATS_H_

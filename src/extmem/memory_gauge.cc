@@ -1,0 +1,6 @@
+#include "extmem/memory_gauge.h"
+
+// MemoryGauge and MemoryReservation are header-only; this translation unit
+// exists so the library has a stable archive member for the component.
+
+namespace emjoin::extmem {}  // namespace emjoin::extmem

@@ -1,0 +1,113 @@
+#ifndef EMJOIN_EXTMEM_MEMORY_GAUGE_H_
+#define EMJOIN_EXTMEM_MEMORY_GAUGE_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "extmem/defs.h"
+
+namespace emjoin::extmem {
+
+/// Tracks the number of tuples currently resident in simulated main memory.
+///
+/// The paper assumes a memory of c*M tuples for a sufficiently large
+/// constant c (constant query size => O(1) recursion depth, each level
+/// holding O(M) tuples). The gauge validates that model invariant: tests
+/// assert `high_water() <= limit_factor * M` after a join runs.
+///
+/// Reservations are RAII: construct a `MemoryReservation` to account
+/// resident tuples, and release happens on destruction.
+class MemoryGauge {
+ public:
+  explicit MemoryGauge(TupleCount memory_tuples)
+      : memory_tuples_(memory_tuples) {}
+
+  MemoryGauge(const MemoryGauge&) = delete;
+  MemoryGauge& operator=(const MemoryGauge&) = delete;
+
+  void Acquire(TupleCount tuples) {
+    resident_ += tuples;
+    if (resident_ > high_water_) high_water_ = resident_;
+  }
+
+  void Release(TupleCount tuples) {
+    assert(tuples <= resident_);
+    resident_ -= tuples;
+  }
+
+  /// Currently resident tuples.
+  TupleCount resident() const { return resident_; }
+
+  /// Maximum resident tuples ever observed.
+  TupleCount high_water() const { return high_water_; }
+
+  /// The configured memory size M, in tuples.
+  TupleCount memory_tuples() const { return memory_tuples_; }
+
+  void ResetHighWater() { high_water_ = resident_; }
+
+ private:
+  TupleCount memory_tuples_;
+  TupleCount resident_ = 0;
+  TupleCount high_water_ = 0;
+};
+
+/// RAII accounting of a block of tuples held in simulated memory.
+class MemoryReservation {
+ public:
+  MemoryReservation() : gauge_(nullptr), tuples_(0) {}
+
+  MemoryReservation(MemoryGauge* gauge, TupleCount tuples)
+      : gauge_(gauge), tuples_(tuples) {
+    if (gauge_ != nullptr) gauge_->Acquire(tuples_);
+  }
+
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : gauge_(other.gauge_), tuples_(other.tuples_) {
+    other.gauge_ = nullptr;
+    other.tuples_ = 0;
+  }
+
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      ReleaseNow();
+      gauge_ = other.gauge_;
+      tuples_ = other.tuples_;
+      other.gauge_ = nullptr;
+      other.tuples_ = 0;
+    }
+    return *this;
+  }
+
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  ~MemoryReservation() { ReleaseNow(); }
+
+  /// Grow or shrink the reservation to `tuples`.
+  void Resize(TupleCount tuples) {
+    if (gauge_ == nullptr) return;
+    if (tuples > tuples_) {
+      gauge_->Acquire(tuples - tuples_);
+    } else {
+      gauge_->Release(tuples_ - tuples);
+    }
+    tuples_ = tuples;
+  }
+
+  TupleCount tuples() const { return tuples_; }
+
+ private:
+  void ReleaseNow() {
+    if (gauge_ != nullptr) gauge_->Release(tuples_);
+    gauge_ = nullptr;
+    tuples_ = 0;
+  }
+
+  MemoryGauge* gauge_;
+  TupleCount tuples_;
+};
+
+}  // namespace emjoin::extmem
+
+#endif  // EMJOIN_EXTMEM_MEMORY_GAUGE_H_

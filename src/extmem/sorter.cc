@@ -1,0 +1,148 @@
+#include "extmem/sorter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace emjoin::extmem {
+
+int CompareTuples(const Value* a, const Value* b, std::uint32_t width,
+                  std::span<const std::uint32_t> key_cols) {
+  for (std::uint32_t c : key_cols) {
+    if (a[c] != b[c]) return a[c] < b[c] ? -1 : 1;
+  }
+  for (std::uint32_t c = 0; c < width; ++c) {
+    if (a[c] != b[c]) return a[c] < b[c] ? -1 : 1;
+  }
+  return 0;
+}
+
+namespace {
+
+// Sorts up to M tuples at a time into run files.
+std::vector<FilePtr> FormRuns(const FileRange& input,
+                              std::span<const std::uint32_t> key_cols) {
+  Device* dev = input.file->device();
+  const std::uint32_t w = input.width();
+  const TupleCount m = dev->M();
+
+  std::vector<FilePtr> runs;
+  FileReader reader(input);
+  std::vector<Value> buffer;
+  buffer.reserve(m * w);
+
+  while (!reader.Done()) {
+    buffer.clear();
+    MemoryReservation res(&dev->gauge(), 0);
+    TupleCount loaded = 0;
+    while (!reader.Done() && loaded < m) {
+      const Value* t = reader.Next();
+      buffer.insert(buffer.end(), t, t + w);
+      ++loaded;
+    }
+    res.Resize(loaded);
+
+    // Sort tuple indices, then emit in order.
+    std::vector<TupleCount> idx(loaded);
+    for (TupleCount i = 0; i < loaded; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](TupleCount x, TupleCount y) {
+      return CompareTuples(buffer.data() + x * w, buffer.data() + y * w, w,
+                           key_cols) < 0;
+    });
+
+    FilePtr run = dev->NewFile(w);
+    FileWriter writer(run);
+    for (TupleCount i : idx) {
+      writer.Append({buffer.data() + i * w, w});
+    }
+    writer.Finish();
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+// Merges `group` sorted runs into one.
+FilePtr MergeGroup(Device* dev, std::span<const FilePtr> group,
+                   std::uint32_t w, std::span<const std::uint32_t> key_cols) {
+  struct HeapEntry {
+    const Value* tuple;
+    std::size_t source;
+  };
+  auto greater = [&](const HeapEntry& a, const HeapEntry& b) {
+    const int c = CompareTuples(a.tuple, b.tuple, w, key_cols);
+    if (c != 0) return c > 0;
+    return a.source > b.source;
+  };
+
+  std::vector<FileReader> readers;
+  readers.reserve(group.size());
+  for (const FilePtr& f : group) readers.emplace_back(FileRange(f));
+
+  // One block per input run plus one output block resident in memory.
+  MemoryReservation res(&dev->gauge(),
+                        (group.size() + 1) * dev->B());
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(greater)>
+      heap(greater);
+  for (std::size_t i = 0; i < readers.size(); ++i) {
+    if (!readers[i].Done()) heap.push({readers[i].Next(), i});
+  }
+
+  FilePtr out = dev->NewFile(w);
+  FileWriter writer(out);
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    writer.Append({top.tuple, w});
+    if (!readers[top.source].Done()) {
+      heap.push({readers[top.source].Next(), top.source});
+    }
+  }
+  writer.Finish();
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t MergePassesFor(const Device& device, TupleCount n) {
+  const TupleCount m = device.M();
+  std::uint64_t runs = (n + m - 1) / m;
+  const std::uint64_t fan_in =
+      std::max<std::uint64_t>(2, device.M() / device.B());
+  std::uint64_t passes = 0;
+  while (runs > 1) {
+    runs = (runs + fan_in - 1) / fan_in;
+    ++passes;
+  }
+  return passes;
+}
+
+FilePtr ExternalSort(const FileRange& input,
+                     std::span<const std::uint32_t> key_cols) {
+  Device* dev = input.file->device();
+  ScopedIoTag tag(dev, "sort");
+  const std::uint32_t w = input.width();
+
+  if (input.empty()) return dev->NewFile(w);
+
+  std::vector<FilePtr> runs = FormRuns(input, key_cols);
+  const std::uint64_t fan_in = std::max<std::uint64_t>(2, dev->M() / dev->B());
+
+  while (runs.size() > 1) {
+    std::vector<FilePtr> next;
+    for (std::size_t i = 0; i < runs.size(); i += fan_in) {
+      const std::size_t end = std::min(runs.size(), i + fan_in);
+      if (end - i == 1) {
+        next.push_back(runs[i]);
+      } else {
+        next.push_back(MergeGroup(
+            dev, std::span<const FilePtr>(runs.data() + i, end - i), w,
+            key_cols));
+      }
+    }
+    runs = std::move(next);
+  }
+  return runs.front();
+}
+
+}  // namespace emjoin::extmem

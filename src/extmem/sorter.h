@@ -1,0 +1,38 @@
+#ifndef EMJOIN_EXTMEM_SORTER_H_
+#define EMJOIN_EXTMEM_SORTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "extmem/file.h"
+
+namespace emjoin::extmem {
+
+/// Compares two equal-width tuples by the given key columns, breaking ties
+/// with the full tuple (so sorts are total orders and deterministic).
+/// Returns <0, 0, >0.
+int CompareTuples(const Value* a, const Value* b, std::uint32_t width,
+                  std::span<const std::uint32_t> key_cols);
+
+/// Standard external merge sort.
+///
+/// Cost: run formation reads+writes the input once; each merge pass
+/// reads+writes it once more with fan-in max(2, M/B), realizing the
+/// O((N/B) log_{M/B}(N/M)) bound whose log the paper suppresses under
+/// the Õ notation.
+///
+/// @param input     tuples to sort (not modified).
+/// @param key_cols  column indices compared lexicographically, most
+///                  significant first. Remaining columns break ties.
+/// @return a new file containing the sorted tuples.
+FilePtr ExternalSort(const FileRange& input,
+                     std::span<const std::uint32_t> key_cols);
+
+/// Number of merge passes the sorter would use for `n` input tuples on
+/// `device` (run formation not counted). Exposed for I/O accounting tests.
+std::uint64_t MergePassesFor(const Device& device, TupleCount n);
+
+}  // namespace emjoin::extmem
+
+#endif  // EMJOIN_EXTMEM_SORTER_H_

@@ -1,0 +1,358 @@
+#include "gens/gens.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "query/classify.h"
+
+namespace emjoin::gens {
+
+namespace {
+
+EdgeSet Sorted(EdgeSet s) {
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+Family Canonical(std::set<EdgeSet> subsets) {
+  return Family(subsets.begin(), subsets.end());
+}
+
+// All subsets of `edges`, optionally excluding the full set.
+std::vector<EdgeSet> AllSubsets(const std::vector<EdgeId>& edges,
+                                bool exclude_full) {
+  std::vector<EdgeSet> out;
+  const std::size_t n = edges.size();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    if (exclude_full && mask + 1 == (std::size_t{1} << n)) continue;
+    EdgeSet s;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) s.push_back(edges[i]);
+    }
+    out.push_back(Sorted(std::move(s)));
+  }
+  return out;
+}
+
+EdgeSet UnionSets(const EdgeSet& a, const EdgeSet& b) {
+  EdgeSet u = a;
+  u.insert(u.end(), b.begin(), b.end());
+  std::sort(u.begin(), u.end());
+  u.erase(std::unique(u.begin(), u.end()), u.end());
+  return u;
+}
+
+// True if every subset of `a` also occurs in `b` (families are sorted).
+bool FamilyIsSubsetOf(const Family& a, const Family& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+// Keeps only minimal families: a family that is a superset of another can
+// never win the min-max cost, for any instance. Controls the
+// doubly-exponential branch blowup.
+void PruneSupersetFamilies(std::set<Family>* families) {
+  std::vector<Family> keep;
+  for (const Family& f : *families) {
+    bool dominated = false;
+    for (const Family& g : *families) {
+      if (&f != &g && FamilyIsSubsetOf(g, f) && g != f) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) keep.push_back(f);
+  }
+  families->clear();
+  families->insert(keep.begin(), keep.end());
+}
+
+// Families are expressed in the *local* edge ids of the sub-query they
+// were computed for; Translate maps them through an id mapping.
+Family Translate(const Family& f, const std::vector<EdgeId>& mapping) {
+  std::set<EdgeSet> out;
+  for (const EdgeSet& s : f) {
+    EdgeSet t;
+    t.reserve(s.size());
+    for (EdgeId e : s) t.push_back(mapping[e]);
+    out.insert(Sorted(std::move(t)));
+  }
+  return Canonical(std::move(out));
+}
+
+class GenSEngine {
+ public:
+  explicit GenSEngine(bool prune) : prune_(prune) {}
+
+  // Families of q, in q's local edge ids.
+  const std::vector<Family>& Families(const query::JoinQuery& q) {
+    const std::string key = Key(q);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    std::set<Family> out;
+    Compute(q, &out);
+    if (prune_) PruneSupersetFamilies(&out);
+    return memo_
+        .emplace(key, std::vector<Family>(out.begin(), out.end()))
+        .first->second;
+  }
+
+  // Branches of q whose first peel involves local edge `target`.
+  std::vector<Family> FamiliesFirstPeel(const query::JoinQuery& q,
+                                        EdgeId target) {
+    // Drop buds first, tracking the target.
+    query::JoinQuery work = q;
+    EdgeId live_target = target;
+    for (;;) {
+      const std::vector<EdgeId> buds =
+          query::EdgesOfKind(work, query::EdgeKind::kBud);
+      if (buds.empty()) break;
+      const EdgeId b = buds.front();
+      if (b == live_target) return {};
+      if (b < live_target) --live_target;
+      work = work.WithoutEdge(b);
+      // Accumulate nothing: mapping is identity-shift and families below
+      // are translated against `q` via bud-corrected ids.
+      bud_shift_.push_back(b);
+    }
+
+    std::set<Family> out;
+    const std::vector<query::Star> stars = query::FindStars(work);
+    if (!stars.empty()) {
+      for (const query::Star& star : stars) {
+        if (std::find(star.petals.begin(), star.petals.end(), live_target) !=
+            star.petals.end()) {
+          StarBranch(work, star, &out);
+        }
+      }
+    } else {
+      const query::EdgeKind kind = query::ClassifyEdge(work, live_target);
+      if (kind == query::EdgeKind::kIsland ||
+          kind == query::EdgeKind::kLeaf) {
+        LeafBranch(work, live_target, &out);
+      }
+    }
+    if (prune_) PruneSupersetFamilies(&out);
+
+    // Translate back through the bud removals to q's ids.
+    std::vector<Family> result(out.begin(), out.end());
+    for (auto it = bud_shift_.rbegin(); it != bud_shift_.rend(); ++it) {
+      const EdgeId b = *it;
+      for (Family& f : result) {
+        for (EdgeSet& s : f) {
+          for (EdgeId& e : s) {
+            if (e >= b) ++e;
+          }
+        }
+      }
+    }
+    bud_shift_.clear();
+    return result;
+  }
+
+ private:
+  static std::string Key(const query::JoinQuery& q) {
+    std::ostringstream os;
+    for (query::EdgeId e = 0; e < q.num_edges(); ++e) {
+      for (query::AttrId a : q.edge(e).attrs()) os << a << ",";
+      os << ";";
+    }
+    return os.str();
+  }
+
+  // Id mapping of WithoutEdge-style removals: surviving local index ->
+  // original local index.
+  static std::vector<EdgeId> WithoutMapping(
+      std::uint32_t n, const std::vector<EdgeId>& removed) {
+    std::vector<bool> drop(n, false);
+    for (EdgeId e : removed) drop[e] = true;
+    std::vector<EdgeId> mapping;
+    for (EdgeId e = 0; e < n; ++e) {
+      if (!drop[e]) mapping.push_back(e);
+    }
+    return mapping;
+  }
+
+  static query::JoinQuery Without(const query::JoinQuery& q,
+                                  const std::vector<EdgeId>& removed) {
+    std::vector<bool> drop(q.num_edges(), false);
+    for (EdgeId e : removed) drop[e] = true;
+    query::JoinQuery out;
+    for (EdgeId e = 0; e < q.num_edges(); ++e) {
+      if (!drop[e]) out.AddRelation(q.edge(e), q.size(e));
+    }
+    return out;
+  }
+
+  void Compute(const query::JoinQuery& q, std::set<Family>* out) {
+    if (q.num_edges() == 0) {
+      out->insert(Family{EdgeSet{}});
+      return;
+    }
+    const std::vector<EdgeId> buds =
+        query::EdgesOfKind(q, query::EdgeKind::kBud);
+    if (!buds.empty()) {
+      const EdgeId b = buds.front();
+      const std::vector<EdgeId> mapping =
+          WithoutMapping(q.num_edges(), {b});
+      for (const Family& f : Families(Without(q, {b}))) {
+        out->insert(Translate(f, mapping));
+      }
+      return;
+    }
+    const std::vector<query::Star> stars = query::FindStars(q);
+    if (!stars.empty()) {
+      for (const query::Star& star : stars) StarBranch(q, star, out);
+      return;
+    }
+    std::vector<EdgeId> candidates =
+        query::EdgesOfKind(q, query::EdgeKind::kIsland);
+    const std::vector<EdgeId> leaves =
+        query::EdgesOfKind(q, query::EdgeKind::kLeaf);
+    candidates.insert(candidates.end(), leaves.begin(), leaves.end());
+    assert(!candidates.empty() &&
+           "acyclic queries always have an island, bud, or leaf (Lemma 1)");
+    for (EdgeId e : candidates) LeafBranch(q, e, out);
+  }
+
+  // GenS island/leaf peel: family = F ∪ { S ∪ {e} : S ∈ F }.
+  void LeafBranch(const query::JoinQuery& q, EdgeId e,
+                  std::set<Family>* out) {
+    const std::vector<EdgeId> mapping = WithoutMapping(q.num_edges(), {e});
+    for (const Family& f : Families(Without(q, {e}))) {
+      const Family tf = Translate(f, mapping);
+      std::set<EdgeSet> subsets(tf.begin(), tf.end());
+      for (const EdgeSet& s : tf) subsets.insert(UnionSets(s, {e}));
+      out->insert(Canonical(std::move(subsets)));
+    }
+  }
+
+  // GenS star peel, eq. (13).
+  void StarBranch(const query::JoinQuery& q, const query::Star& star,
+                  std::set<Family>* out) {
+    std::vector<EdgeId> star_local = star.petals;
+    star_local.push_back(star.core);
+
+    const std::vector<EdgeId> map_without_x =
+        WithoutMapping(q.num_edges(), star_local);
+    const std::vector<EdgeId> map_without_petals =
+        WithoutMapping(q.num_edges(), star.petals);
+
+    std::vector<EdgeId> star_ids = star.petals;
+    star_ids.push_back(star.core);
+    const std::vector<EdgeSet> two_to_x = AllSubsets(star_ids, false);
+    const std::vector<EdgeSet> petal_subsets = AllSubsets(star.petals, false);
+    const std::vector<EdgeSet> petal_proper = AllSubsets(star.petals, true);
+
+    const std::vector<Family>& f1_set = Families(Without(q, star_local));
+    const std::vector<Family> f1_translated = [&] {
+      std::vector<Family> v;
+      for (const Family& f : f1_set) v.push_back(Translate(f, map_without_x));
+      return v;
+    }();
+    const std::vector<Family>& f2_set = Families(Without(q, star.petals));
+    const std::vector<Family> f2_translated = [&] {
+      std::vector<Family> v;
+      for (const Family& f : f2_set) {
+        v.push_back(Translate(f, map_without_petals));
+      }
+      return v;
+    }();
+
+    for (const Family& f1 : f1_translated) {
+      for (const Family& f2 : f2_translated) {
+        std::set<EdgeSet> subsets(two_to_x.begin(), two_to_x.end());
+        for (const EdgeSet& f : petal_subsets) {
+          for (const EdgeSet& s : f1) subsets.insert(UnionSets(f, s));
+        }
+        for (const EdgeSet& f : petal_proper) {
+          for (const EdgeSet& s : f2) subsets.insert(UnionSets(f, s));
+        }
+        out->insert(Canonical(std::move(subsets)));
+      }
+    }
+  }
+
+  bool prune_;
+  std::map<std::string, std::vector<Family>> memo_;
+  std::vector<EdgeId> bud_shift_;
+};
+
+}  // namespace
+
+std::vector<Family> GenSFamilies(const JoinQuery& q, bool prune_supersets) {
+  assert(q.IsBergeAcyclic());
+  GenSEngine engine(prune_supersets);
+  return engine.Families(q);
+}
+
+std::vector<Family> GenSFamiliesFirstPeel(const JoinQuery& q, EdgeId target) {
+  assert(q.IsBergeAcyclic());
+  GenSEngine engine(/*prune=*/true);
+  return engine.FamiliesFirstPeel(q, target);
+}
+
+Family PruneDominated(const JoinQuery& q, const Family& family) {
+  // Rule: S ∪ {e} is dominated by S when every attribute of e is already
+  // present in S's attributes (the extra relation's tuple is determined,
+  // so the subjoin cannot grow, while the denominator gains a factor M).
+  auto attrs_of = [&](const EdgeSet& s) {
+    std::vector<query::AttrId> attrs;
+    for (EdgeId e : s) {
+      for (query::AttrId a : q.edge(e).attrs()) {
+        if (std::find(attrs.begin(), attrs.end(), a) == attrs.end()) {
+          attrs.push_back(a);
+        }
+      }
+    }
+    return attrs;
+  };
+
+  Family kept;
+  for (const EdgeSet& s : family) {
+    bool dominated = false;
+    for (EdgeId e : s) {
+      EdgeSet without;
+      for (EdgeId x : s) {
+        if (x != e) without.push_back(x);
+      }
+      if (without.empty()) continue;
+      const std::vector<query::AttrId> attrs = attrs_of(without);
+      bool covered = true;
+      for (query::AttrId a : q.edge(e).attrs()) {
+        if (std::find(attrs.begin(), attrs.end(), a) == attrs.end()) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered &&
+          std::find(family.begin(), family.end(), without) != family.end()) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(s);
+  }
+  return kept;
+}
+
+std::string FamilyToString(const Family& family) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{";
+    for (std::size_t j = 0; j < family[i].size(); ++j) {
+      if (j > 0) os << ",";
+      os << "e" << family[i][j] + 1;  // 1-based like the paper
+    }
+    os << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace emjoin::gens

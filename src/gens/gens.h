@@ -1,0 +1,58 @@
+#ifndef EMJOIN_GENS_GENS_H_
+#define EMJOIN_GENS_GENS_H_
+
+#include <string>
+#include <vector>
+
+#include "query/hypergraph.h"
+
+namespace emjoin::gens {
+
+using query::EdgeId;
+using query::JoinQuery;
+
+/// A subset of the query's relations, by original edge id, sorted.
+using EdgeSet = std::vector<EdgeId>;
+
+/// One family S produced by a branch of GenS(Q): a set of relation
+/// subsets, each contributing a Ψ term to the algorithm's cost bound
+/// (Theorem 3). Sorted and deduplicated.
+using Family = std::vector<EdgeSet>;
+
+/// Enumerates every family generatable by the nondeterministic process
+/// GenS(Q) (Algorithm 3), implemented per eq. (13):
+///
+///   GenS(Q) = 2^X  ∪  { f ∪ S : f ⊆ X−{e0},  S ∈ GenS(Q−X) }
+///                 ∪  { f ∪ S : f ⊊ X−{e0},  S ∈ GenS(Q−X+{e0}) }
+///
+/// for a star X with core e0; buds are dropped; islands and leaves e
+/// produce GenS(Q−e) ∪ { S ∪ {e} }. Families are deduplicated across
+/// branches, and with `prune_supersets` (default) any family that is a
+/// superset of another is removed — it can never win the min-max cost,
+/// and pruning tames the doubly-exponential branch blowup on longer
+/// queries. Pass false to see the raw branch output (tests, reporting).
+/// Query size must be constant (the paper's data-complexity assumption).
+std::vector<Family> GenSFamilies(const JoinQuery& q,
+                                 bool prune_supersets = true);
+
+/// Families generatable by GenS branches whose *first* peel involves edge
+/// `e`: a star peel whose petal set contains `e`, or (when the query has
+/// no star) an island/leaf peel of `e` itself. Buds are dropped first as
+/// usual. Returns an empty vector when no branch starts with `e` — the
+/// cost-guided chooser then treats `e` as an inadmissible first peel.
+/// This mirrors the Theorem 3 correspondence between GenS branches and
+/// Algorithm 2 peel orders (a star branch maps to peeling its petals one
+/// by one, then the core).
+std::vector<Family> GenSFamiliesFirstPeel(const JoinQuery& q, EdgeId e);
+
+/// Removes from `family` every subset S whose Ψ is structurally dominated
+/// by a kept subset on all fully reduced instances — the star rule (§4.2):
+/// S ∪ {core} is dominated by S ∪ {petals} once all petals are present.
+/// Used only for compact reporting; cost evaluation uses full families.
+Family PruneDominated(const JoinQuery& q, const Family& family);
+
+std::string FamilyToString(const Family& family);
+
+}  // namespace emjoin::gens
+
+#endif  // EMJOIN_GENS_GENS_H_

@@ -1,0 +1,115 @@
+#include "gens/lp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace emjoin::gens {
+
+long double SolveLpMax(const std::vector<std::vector<long double>>& a,
+                       const std::vector<long double>& b,
+                       const std::vector<long double>& c) {
+  const std::size_t m = a.size();     // constraints
+  const std::size_t n = c.size();     // variables
+  assert(b.size() == m);
+  constexpr long double kEps = 1e-12L;
+
+  // Tableau: rows 0..m-1 are constraints with slack columns, row m is the
+  // objective (negated coefficients; maximize).
+  const std::size_t cols = n + m + 1;
+  std::vector<std::vector<long double>> t(m + 1,
+                                          std::vector<long double>(cols, 0));
+  for (std::size_t i = 0; i < m; ++i) {
+    assert(a[i].size() == n);
+    for (std::size_t j = 0; j < n; ++j) t[i][j] = a[i][j];
+    t[i][n + i] = 1.0L;
+    t[i][cols - 1] = b[i];
+    assert(b[i] >= 0.0L);
+  }
+  for (std::size_t j = 0; j < n; ++j) t[m][j] = -c[j];
+
+  std::vector<std::size_t> basis(m);
+  for (std::size_t i = 0; i < m; ++i) basis[i] = n + i;
+
+  for (;;) {
+    // Bland's rule: smallest-index entering column with negative cost.
+    std::size_t pivot_col = cols - 1;
+    for (std::size_t j = 0; j + 1 < cols; ++j) {
+      if (t[m][j] < -kEps) {
+        pivot_col = j;
+        break;
+      }
+    }
+    if (pivot_col == cols - 1) break;  // optimal
+
+    // Ratio test, Bland tie-break on basis index.
+    std::size_t pivot_row = m;
+    long double best_ratio = std::numeric_limits<long double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t[i][pivot_col] > kEps) {
+        const long double ratio = t[i][cols - 1] / t[i][pivot_col];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (pivot_row == m || basis[i] < basis[pivot_row]))) {
+          best_ratio = ratio;
+          pivot_row = i;
+        }
+      }
+    }
+    assert(pivot_row != m && "LP must be bounded for our instances");
+
+    // Pivot.
+    const long double pv = t[pivot_row][pivot_col];
+    for (std::size_t j = 0; j < cols; ++j) t[pivot_row][j] /= pv;
+    for (std::size_t i = 0; i <= m; ++i) {
+      if (i == pivot_row) continue;
+      const long double f = t[i][pivot_col];
+      if (std::fabs(static_cast<double>(f)) < static_cast<double>(kEps)) {
+        continue;
+      }
+      for (std::size_t j = 0; j < cols; ++j) {
+        t[i][j] -= f * t[pivot_row][j];
+      }
+    }
+    basis[pivot_row] = pivot_col;
+  }
+  return t[m][cols - 1];
+}
+
+long double MaxCrossProductSubjoin(const query::JoinQuery& q,
+                                   const std::vector<query::EdgeId>& subset) {
+  if (subset.empty()) return 1.0L;
+  // An empty relation anywhere makes the (reduced) instance empty: every
+  // subjoin over a fully reduced instance is then empty as well, so the
+  // worst case is 0 and the LP (log of sizes) does not apply.
+  for (query::EdgeId e = 0; e < q.num_edges(); ++e) {
+    if (q.size(e) == 0) return 0.0L;
+  }
+  // Variables: y_v = log z(v) >= 0 for every attribute of q.
+  const std::vector<query::AttrId> attrs = q.attrs();
+  auto var_of = [&](query::AttrId a) {
+    return static_cast<std::size_t>(
+        std::find(attrs.begin(), attrs.end(), a) - attrs.begin());
+  };
+
+  std::vector<std::vector<long double>> a;
+  std::vector<long double> b;
+  for (query::EdgeId e = 0; e < q.num_edges(); ++e) {
+    assert(q.size(e) > 0);
+    std::vector<long double> row(attrs.size(), 0.0L);
+    for (query::AttrId v : q.edge(e).attrs()) row[var_of(v)] = 1.0L;
+    a.push_back(std::move(row));
+    b.push_back(std::log(static_cast<long double>(q.size(e))));
+  }
+
+  std::vector<long double> c(attrs.size(), 0.0L);
+  for (query::EdgeId e : subset) {
+    for (query::AttrId v : q.edge(e).attrs()) c[var_of(v)] = 1.0L;
+  }
+
+  const long double log_opt = SolveLpMax(a, b, c);
+  return std::exp(log_opt);
+}
+
+}  // namespace emjoin::gens

@@ -1,0 +1,33 @@
+#ifndef EMJOIN_GENS_LP_H_
+#define EMJOIN_GENS_LP_H_
+
+#include <vector>
+
+#include "query/hypergraph.h"
+
+namespace emjoin::gens {
+
+/// Maximize c·y subject to A·y <= b, y >= 0, with b >= 0 (so the slack
+/// basis is feasible). Dense primal simplex with Bland's rule; intended
+/// for the tiny LPs arising from constant-size queries. Returns the
+/// optimal objective value (the problem is always bounded in our use:
+/// every variable appears in some constraint with b finite).
+long double SolveLpMax(const std::vector<std::vector<long double>>& a,
+                       const std::vector<long double>& b,
+                       const std::vector<long double>& c);
+
+/// The largest subjoin size ⋈_{e∈subset} R(e) achievable by a *fully
+/// reduced cross-product instance* of `q` honoring all size bounds N(e):
+/// choose per-attribute domain sizes z(v) ≥ 1 with Π_{v∈e} z(v) ≤ N(e)
+/// for every e ∈ E (every relation is the cross product of its domains,
+/// which is automatically fully reduced), maximizing Π_{v ∈ attrs(subset)}
+/// z(v). Solved as an LP in log z. This matches the paper's lower-bound
+/// constructions (Theorems 4–7 are all of this form) and is tighter than
+/// the per-component AGM bound, which ignores the size constraints of
+/// relations outside the subset.
+long double MaxCrossProductSubjoin(const query::JoinQuery& q,
+                                   const std::vector<query::EdgeId>& subset);
+
+}  // namespace emjoin::gens
+
+#endif  // EMJOIN_GENS_LP_H_

@@ -1,0 +1,137 @@
+#include "gens/planner.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace emjoin::gens {
+
+namespace {
+
+long double BestBranchBound(
+    const std::vector<Family>& families,
+    const std::function<long double(const Family&)>& cost_of) {
+  if (families.empty()) {
+    return std::numeric_limits<long double>::infinity();
+  }
+  long double best = 0.0L;
+  bool first = true;
+  for (const Family& family : families) {
+    const long double max_psi = cost_of(family);
+    if (first || max_psi < best) {
+      first = false;
+      best = max_psi;
+    }
+  }
+  return best;
+}
+
+LeafChooser MakeChooser(
+    const std::function<long double(const JoinQuery&,
+                                    const std::vector<storage::Relation>&,
+                                    EdgeId)>& bound_of) {
+  return [bound_of](const JoinQuery& live,
+                    const std::vector<storage::Relation>& rels,
+                    const std::vector<EdgeId>& candidates) -> std::size_t {
+    assert(!candidates.empty());
+    std::size_t best_idx = 0;
+    long double best = 0.0L;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const long double b = bound_of(live, rels, candidates[i]);
+      if (i == 0 || b < best) {
+        best = b;
+        best_idx = i;
+      }
+    }
+    return best_idx;
+  };
+}
+
+}  // namespace
+
+LeafChooser FirstLeafChooser() {
+  return [](const JoinQuery&, const std::vector<storage::Relation>&,
+            const std::vector<EdgeId>& candidates) {
+    assert(!candidates.empty());
+    (void)candidates;
+    return std::size_t{0};
+  };
+}
+
+long double BoundIfPeeledFirst(const JoinQuery& live, EdgeId leaf,
+                               TupleCount M, TupleCount B) {
+  return BestBranchBound(GenSFamiliesFirstPeel(live, leaf),
+                         [&](const Family& f) {
+                           return FamilyMaxPsiWorstCase(live, f, M, B);
+                         });
+}
+
+long double BoundIfPeeledFirstExact(const JoinQuery& live,
+                                    const std::vector<storage::Relation>& rels,
+                                    EdgeId leaf, TupleCount M, TupleCount B) {
+  return BestBranchBound(GenSFamiliesFirstPeel(live, leaf),
+                         [&](const Family& f) {
+                           return FamilyMaxPsiExact(live, rels, f, M, B);
+                         });
+}
+
+LeafChooser CostGuidedChooser(TupleCount M, TupleCount B) {
+  // The bound computation (GenS enumeration + one LP per subset) is
+  // non-trivial and the chooser runs once per recursive call, per memory
+  // chunk. Decisions are memoized on the live query's shape with sizes
+  // quantized to powers of two — the bound is asymptotic, so sub-2x size
+  // differences never flip an asymptotically meaningful choice.
+  auto cache = std::make_shared<std::map<std::string, std::size_t>>();
+  return [M, B, cache](const JoinQuery& live,
+                       const std::vector<storage::Relation>&,
+                       const std::vector<EdgeId>& candidates) -> std::size_t {
+    assert(!candidates.empty());
+    if (candidates.size() == 1) return 0;
+    // Beyond ~8 edges the GenS enumeration itself becomes the bottleneck
+    // (and the paper's optimality frontier ends at n = 8 anyway); fall
+    // back to a fixed branch there.
+    if (live.num_edges() > 8) return 0;
+    std::string key;
+    for (EdgeId e = 0; e < live.num_edges(); ++e) {
+      for (query::AttrId a : live.edge(e).attrs()) {
+        key += std::to_string(a);
+        key += ',';
+      }
+      key += '@';
+      key += std::to_string(std::bit_width(live.size(e)));
+      key += ';';
+    }
+    key += '|';
+    for (EdgeId c : candidates) {
+      key += std::to_string(c);
+      key += ',';
+    }
+    if (auto it = cache->find(key); it != cache->end()) return it->second;
+
+    std::size_t best_idx = 0;
+    long double best = 0.0L;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const long double b = BoundIfPeeledFirst(live, candidates[i], M, B);
+      if (i == 0 || b < best) {
+        best = b;
+        best_idx = i;
+      }
+    }
+    (*cache)[key] = best_idx;
+    return best_idx;
+  };
+}
+
+LeafChooser ExactCostGuidedChooser(TupleCount M, TupleCount B) {
+  return MakeChooser([M, B](const JoinQuery& live,
+                            const std::vector<storage::Relation>& rels,
+                            EdgeId leaf) {
+    return BoundIfPeeledFirstExact(live, rels, leaf, M, B);
+  });
+}
+
+}  // namespace emjoin::gens

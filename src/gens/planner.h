@@ -1,0 +1,56 @@
+#ifndef EMJOIN_GENS_PLANNER_H_
+#define EMJOIN_GENS_PLANNER_H_
+
+#include <functional>
+#include <vector>
+
+#include "gens/psi.h"
+
+namespace emjoin::gens {
+
+/// Decides which leaf Algorithm 2 peels next (the paper's nondeterministic
+/// choice, line 11). `live` is the current recursive sub-query with
+/// up-to-date sizes, `rels` the live relation instances (same order as
+/// `live`'s edges), and `candidates` the peelable leaves. Returns an
+/// index into `candidates`.
+using LeafChooser = std::function<std::size_t(
+    const JoinQuery& live, const std::vector<storage::Relation>& rels,
+    const std::vector<EdgeId>& candidates)>;
+
+/// Always peels the first candidate. Deterministic baseline; corresponds
+/// to one fixed branch of the nondeterministic algorithm.
+LeafChooser FirstLeafChooser();
+
+/// Worst-case cost-guided chooser, realizing the effect of the paper's
+/// round-robin simulation at the level of worst-case bounds: for each
+/// candidate leaf e it evaluates
+///
+///   bound(e) = min_{F ∈ GenSFirstPeel(Q, e)} max_{S ∈ F} Ψ̂(S)
+///
+/// where Ψ̂ uses the cross-product-instance LP estimate of the worst
+/// subjoin size given the live relation sizes, and picks the argmin.
+/// Candidates admitting no GenS branch score +∞.
+LeafChooser CostGuidedChooser(TupleCount M, TupleCount B);
+
+/// Instance-exact cost-guided chooser: like CostGuidedChooser but Ψ is
+/// evaluated with the *actual* subjoin cardinalities of the live instance
+/// (via the uncharged counting oracle). Distinguishes peel orders that
+/// worst-case analysis cannot (e.g. the paper's compare-N2-with-N3 rule
+/// on L4 responds to where the skew actually is). Costs O(total live
+/// tuples) oracle work per choice.
+LeafChooser ExactCostGuidedChooser(TupleCount M, TupleCount B);
+
+/// The bound(e) evaluation used by CostGuidedChooser, exposed for tests
+/// and the io_planner example. Returns +infinity when no GenS branch
+/// peels `leaf` first.
+long double BoundIfPeeledFirst(const JoinQuery& live, EdgeId leaf,
+                               TupleCount M, TupleCount B);
+
+/// Instance-exact variant of BoundIfPeeledFirst.
+long double BoundIfPeeledFirstExact(const JoinQuery& live,
+                                    const std::vector<storage::Relation>& rels,
+                                    EdgeId leaf, TupleCount M, TupleCount B);
+
+}  // namespace emjoin::gens
+
+#endif  // EMJOIN_GENS_PLANNER_H_

@@ -1,0 +1,139 @@
+#include "gens/psi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+#include "counting/cardinality.h"
+#include "gens/lp.h"
+#include "query/edge_cover.h"
+
+namespace emjoin::gens {
+
+namespace {
+
+long double DividePsi(long double numerator, std::size_t subset_size,
+                      TupleCount M, TupleCount B) {
+  long double denom = static_cast<long double>(B);
+  for (std::size_t i = 1; i < subset_size; ++i) {
+    denom *= static_cast<long double>(M);
+  }
+  return numerator / denom;
+}
+
+long double LinearTerm(const JoinQuery& q, TupleCount B) {
+  long double total = 0.0L;
+  for (query::EdgeId e = 0; e < q.num_edges(); ++e) {
+    total += static_cast<long double>(q.size(e));
+  }
+  return total / static_cast<long double>(B);
+}
+
+BoundReport BestFamily(
+    const JoinQuery& q, const std::vector<Family>& families,
+    const std::function<long double(const EdgeSet&)>& psi_of, TupleCount B) {
+  BoundReport report;
+  bool first = true;
+  for (const Family& family : families) {
+    long double max_psi = 0.0L;
+    for (const EdgeSet& s : family) {
+      max_psi = std::max(max_psi, psi_of(s));
+    }
+    if (first || max_psi < report.max_psi) {
+      first = false;
+      report.best_family = family;
+      report.max_psi = max_psi;
+    }
+  }
+  report.linear_term = LinearTerm(q, B);
+  report.bound = report.max_psi + report.linear_term;
+  for (const EdgeSet& s : report.best_family) {
+    report.terms.push_back({s, psi_of(s)});
+  }
+  std::sort(report.terms.begin(), report.terms.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return report;
+}
+
+}  // namespace
+
+long double PsiExact(const JoinQuery& q,
+                     const std::vector<storage::Relation>& rels,
+                     const EdgeSet& subset, TupleCount M, TupleCount B) {
+  if (subset.empty()) return 0.0L;
+  long double numerator = 1.0L;
+  for (const std::vector<query::EdgeId>& component :
+       q.ConnectedComponents(subset)) {
+    std::vector<std::uint32_t> idx(component.begin(), component.end());
+    numerator *= static_cast<long double>(counting::SubjoinSize(rels, idx));
+  }
+  return DividePsi(numerator, subset.size(), M, B);
+}
+
+long double PsiWorstCase(const JoinQuery& q, const EdgeSet& subset,
+                         TupleCount M, TupleCount B) {
+  if (subset.empty()) return 0.0L;
+  // Worst-case subjoin size over fully reduced instances, estimated by
+  // the cross-product-instance LP. This is tighter than per-component
+  // AGM, which ignores the size bounds of relations outside the subset
+  // (those bounds constrain shared domains on reduced instances — the
+  // effect behind the paper's "dominated subjoins are omitted" remarks).
+  const long double numerator = MaxCrossProductSubjoin(q, subset);
+  return DividePsi(numerator, subset.size(), M, B);
+}
+
+long double FamilyMaxPsiExact(const JoinQuery& q,
+                              const std::vector<storage::Relation>& rels,
+                              const Family& family, TupleCount M,
+                              TupleCount B) {
+  long double max_psi = 0.0L;
+  for (const EdgeSet& s : family) {
+    max_psi = std::max(max_psi, PsiExact(q, rels, s, M, B));
+  }
+  return max_psi;
+}
+
+long double FamilyMaxPsiWorstCase(const JoinQuery& q, const Family& family,
+                                  TupleCount M, TupleCount B) {
+  long double max_psi = 0.0L;
+  for (const EdgeSet& s : family) {
+    max_psi = std::max(max_psi, PsiWorstCase(q, s, M, B));
+  }
+  return max_psi;
+}
+
+BoundReport PredictBoundExact(const JoinQuery& q,
+                              const std::vector<storage::Relation>& rels,
+                              TupleCount M, TupleCount B) {
+  const std::vector<Family> families = GenSFamilies(q);
+  return BestFamily(
+      q, families,
+      [&](const EdgeSet& s) { return PsiExact(q, rels, s, M, B); }, B);
+}
+
+long double Theorem2BoundExact(const JoinQuery& q,
+                               const std::vector<storage::Relation>& rels,
+                               TupleCount M, TupleCount B) {
+  const std::uint32_t n = q.num_edges();
+  assert(n <= 20 && "query size must be constant/small");
+  long double max_psi = 0.0L;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    EdgeSet s;
+    for (query::EdgeId e = 0; e < n; ++e) {
+      if (mask & (1u << e)) s.push_back(e);
+    }
+    max_psi = std::max(max_psi, PsiExact(q, rels, s, M, B));
+  }
+  return max_psi + LinearTerm(q, B);
+}
+
+BoundReport PredictBoundWorstCase(const JoinQuery& q, TupleCount M,
+                                  TupleCount B) {
+  const std::vector<Family> families = GenSFamilies(q);
+  return BestFamily(
+      q, families,
+      [&](const EdgeSet& s) { return PsiWorstCase(q, s, M, B); }, B);
+}
+
+}  // namespace emjoin::gens

@@ -1,0 +1,66 @@
+#ifndef EMJOIN_GENS_PSI_H_
+#define EMJOIN_GENS_PSI_H_
+
+#include <utility>
+#include <vector>
+
+#include "extmem/device.h"
+#include "gens/gens.h"
+#include "storage/relation.h"
+
+namespace emjoin::gens {
+
+/// Ψ(R, S): the minimum I/O cost of computing the subjoin on S, eq. (8):
+///
+///   Ψ(R, S) = Π_{S' ∈ C(S)} |⋈_{e ∈ S'} R(e)|  /  (M^{|S|-1} B)
+///
+/// with C(S) the connected components of S. Subjoin sizes are computed
+/// exactly by the (uncharged) counting oracle. Ψ(R, ∅) = 0.
+long double PsiExact(const JoinQuery& q,
+                     const std::vector<storage::Relation>& rels,
+                     const EdgeSet& subset, TupleCount M, TupleCount B);
+
+/// Worst-case Ψ over all instances with the given relation sizes: subjoin
+/// sizes are replaced by the AGM bound of each connected component.
+long double PsiWorstCase(const JoinQuery& q, const EdgeSet& subset,
+                         TupleCount M, TupleCount B);
+
+/// max_{S ∈ family} Ψ(R, S).
+long double FamilyMaxPsiExact(const JoinQuery& q,
+                              const std::vector<storage::Relation>& rels,
+                              const Family& family, TupleCount M,
+                              TupleCount B);
+
+long double FamilyMaxPsiWorstCase(const JoinQuery& q, const Family& family,
+                                  TupleCount M, TupleCount B);
+
+/// The bound of Theorem 3 evaluated on one instance (or, for the
+/// worst-case variant, on the size vector): min over GenS families of the
+/// max Ψ term, plus the linear Õ(ΣN/B) scan term.
+struct BoundReport {
+  Family best_family;
+  long double max_psi = 0.0L;
+  long double linear_term = 0.0L;
+  /// max_psi + linear_term.
+  long double bound = 0.0L;
+  /// Ψ per subset of the best family, sorted descending by Ψ.
+  std::vector<std::pair<EdgeSet, long double>> terms;
+};
+
+BoundReport PredictBoundExact(const JoinQuery& q,
+                              const std::vector<storage::Relation>& rels,
+                              TupleCount M, TupleCount B);
+
+BoundReport PredictBoundWorstCase(const JoinQuery& q, TupleCount M,
+                                  TupleCount B);
+
+/// The coarser Theorem 2 bound: max Ψ over *all* subsets of E (any
+/// branch of the nondeterministic algorithm satisfies it). Always at
+/// least the Theorem 3 bound; the gap is what the GenS machinery buys.
+long double Theorem2BoundExact(const JoinQuery& q,
+                               const std::vector<storage::Relation>& rels,
+                               TupleCount M, TupleCount B);
+
+}  // namespace emjoin::gens
+
+#endif  // EMJOIN_GENS_PSI_H_

@@ -1,0 +1,103 @@
+#include "query/classify.h"
+
+#include <cassert>
+
+namespace emjoin::query {
+
+bool IsUniqueAttr(const JoinQuery& q, AttrId a) {
+  return q.AttrDegree(a) == 1;
+}
+
+bool IsJoinAttr(const JoinQuery& q, AttrId a) { return q.AttrDegree(a) >= 2; }
+
+std::vector<AttrId> UniqueAttrsOf(const JoinQuery& q, EdgeId e) {
+  std::vector<AttrId> out;
+  for (AttrId a : q.edge(e).attrs()) {
+    if (IsUniqueAttr(q, a)) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<AttrId> JoinAttrsOf(const JoinQuery& q, EdgeId e) {
+  std::vector<AttrId> out;
+  for (AttrId a : q.edge(e).attrs()) {
+    if (IsJoinAttr(q, a)) out.push_back(a);
+  }
+  return out;
+}
+
+EdgeKind ClassifyEdge(const JoinQuery& q, EdgeId e) {
+  const std::size_t joins = JoinAttrsOf(q, e).size();
+  const std::size_t uniques = UniqueAttrsOf(q, e).size();
+  if (joins == 0) return EdgeKind::kIsland;
+  if (joins == 1 && uniques == 0) return EdgeKind::kBud;
+  if (joins == 1) return EdgeKind::kLeaf;
+  return EdgeKind::kInternal;
+}
+
+std::vector<EdgeId> EdgesOfKind(const JoinQuery& q, EdgeKind kind) {
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < q.num_edges(); ++e) {
+    if (ClassifyEdge(q, e) == kind) out.push_back(e);
+  }
+  return out;
+}
+
+LeafInfo DescribeLeaf(const JoinQuery& q, EdgeId e) {
+  assert(ClassifyEdge(q, e) == EdgeKind::kLeaf);
+  LeafInfo info;
+  info.leaf = e;
+  info.unique_attrs = UniqueAttrsOf(q, e);
+  info.join_attr = JoinAttrsOf(q, e).front();
+  for (EdgeId other : q.EdgesWith(info.join_attr)) {
+    if (other != e) info.neighbors.push_back(other);
+  }
+  return info;
+}
+
+std::vector<Star> FindStars(const JoinQuery& q) {
+  std::vector<Star> stars;
+  for (EdgeId core = 0; core < q.num_edges(); ++core) {
+    if (!UniqueAttrsOf(q, core).empty()) continue;
+    if (q.edge(core).arity() == 0) continue;
+
+    const std::vector<AttrId>& core_attrs = q.edge(core).attrs();
+
+    // A core attribute is "petal-capable" when every other edge containing
+    // it is a leaf joining on that attribute (those leaves are petals).
+    auto petal_capable = [&](AttrId v) {
+      for (EdgeId other : q.EdgesWith(v)) {
+        if (other == core) continue;
+        if (ClassifyEdge(q, other) != EdgeKind::kLeaf) return false;
+        if (DescribeLeaf(q, other).join_attr != v) return false;
+      }
+      return true;
+    };
+
+    // Choice of the (at most one) outward attribute: none, or any core
+    // attribute; all remaining core attributes must be petal-capable.
+    std::vector<std::optional<AttrId>> outward_choices;
+    outward_choices.push_back(std::nullopt);
+    for (AttrId v : core_attrs) outward_choices.emplace_back(v);
+
+    for (const auto& outward : outward_choices) {
+      bool ok = true;
+      std::vector<EdgeId> petals;
+      for (AttrId v : core_attrs) {
+        if (outward.has_value() && v == *outward) continue;
+        if (!petal_capable(v)) {
+          ok = false;
+          break;
+        }
+        for (EdgeId other : q.EdgesWith(v)) {
+          if (other != core) petals.push_back(other);
+        }
+      }
+      if (!ok || petals.empty()) continue;
+      stars.push_back(Star{core, std::move(petals), outward});
+    }
+  }
+  return stars;
+}
+
+}  // namespace emjoin::query

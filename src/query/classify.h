@@ -1,0 +1,62 @@
+#ifndef EMJOIN_QUERY_CLASSIFY_H_
+#define EMJOIN_QUERY_CLASSIFY_H_
+
+#include <optional>
+#include <vector>
+
+#include "query/hypergraph.h"
+
+namespace emjoin::query {
+
+/// Structural role of a relation in an acyclic query (§2.2.2, Fig. 2):
+///  - kIsland: no join attributes;
+///  - kBud:    exactly one join attribute and no unique attributes;
+///  - kLeaf:   at least one unique attribute and exactly one join attribute;
+///  - kInternal: anything else (>= 2 join attributes).
+enum class EdgeKind { kIsland, kBud, kLeaf, kInternal };
+
+/// True if attribute `a` appears in exactly one relation of `q`.
+bool IsUniqueAttr(const JoinQuery& q, AttrId a);
+
+/// True if attribute `a` appears in two or more relations of `q`.
+bool IsJoinAttr(const JoinQuery& q, AttrId a);
+
+/// Unique attributes of edge `e`.
+std::vector<AttrId> UniqueAttrsOf(const JoinQuery& q, EdgeId e);
+
+/// Join attributes of edge `e`.
+std::vector<AttrId> JoinAttrsOf(const JoinQuery& q, EdgeId e);
+
+EdgeKind ClassifyEdge(const JoinQuery& q, EdgeId e);
+
+std::vector<EdgeId> EdgesOfKind(const JoinQuery& q, EdgeKind kind);
+
+/// Structural description of a leaf: its unique attributes U, its single
+/// join attribute v, and its neighbours Γ (other edges containing v).
+struct LeafInfo {
+  EdgeId leaf;
+  std::vector<AttrId> unique_attrs;
+  AttrId join_attr;
+  std::vector<EdgeId> neighbors;
+};
+
+/// Describes `e` as a leaf; requires ClassifyEdge(q, e) == kLeaf.
+LeafInfo DescribeLeaf(const JoinQuery& q, EdgeId e);
+
+/// A star (§4.2, Fig. 5): a core e0 with no unique attributes and k >= 1
+/// petals, each a leaf whose join attribute lies in e0. The core connects
+/// with the rest of the query via at most one join attribute (exactly one
+/// when the star is not the whole query).
+struct Star {
+  EdgeId core;
+  std::vector<EdgeId> petals;
+  /// Attribute connecting the core to the rest of Q, if any.
+  std::optional<AttrId> outward_attr;
+};
+
+/// All stars present in `q`.
+std::vector<Star> FindStars(const JoinQuery& q);
+
+}  // namespace emjoin::query
+
+#endif  // EMJOIN_QUERY_CLASSIFY_H_

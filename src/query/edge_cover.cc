@@ -1,0 +1,169 @@
+#include "query/edge_cover.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "query/classify.h"
+
+namespace emjoin::query {
+
+bool IsEdgeCover(const JoinQuery& q, const std::vector<EdgeId>& edges) {
+  for (AttrId a : q.attrs()) {
+    bool covered = false;
+    for (EdgeId e : edges) {
+      if (q.edge(e).Contains(a)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+EdgeCover OptimalEdgeCover(const JoinQuery& q) {
+  const std::uint32_t n = q.num_edges();
+  assert(n <= 24 && "query size must be constant/small");
+  for (EdgeId e = 0; e < n; ++e) assert(q.size(e) > 0);
+
+  long double best_log = 0.0L;
+  std::uint32_t best_mask = 0;
+  bool found = false;
+
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<EdgeId> subset;
+    long double log_prod = 0.0L;
+    for (EdgeId e = 0; e < n; ++e) {
+      if (mask & (1u << e)) {
+        subset.push_back(e);
+        log_prod += std::log(static_cast<long double>(q.size(e)));
+      }
+    }
+    if (!IsEdgeCover(q, subset)) continue;
+    if (!found || log_prod < best_log) {
+      found = true;
+      best_log = log_prod;
+      best_mask = mask;
+    }
+  }
+  assert(found && "every query has the full edge set as a cover");
+
+  EdgeCover cover;
+  for (EdgeId e = 0; e < n; ++e) {
+    if (best_mask & (1u << e)) {
+      cover.edges.push_back(e);
+      cover.product *= static_cast<long double>(q.size(e));
+    }
+  }
+  return cover;
+}
+
+long double AgmBound(const JoinQuery& q) { return OptimalEdgeCover(q).product; }
+
+std::vector<EdgeId> GreedyMinEdgeCover(const JoinQuery& q) {
+  return GreedyCoverWithPacking(q).cover;
+}
+
+CoverWithPacking GreedyCoverWithPacking(const JoinQuery& q) {
+  // Algorithm 6, tracked with explicit removed-flags so edge ids stay
+  // stable relative to `q`.
+  const std::vector<AttrId> all_attrs = q.attrs();
+  std::vector<bool> attr_removed(all_attrs.size(), false);
+  std::vector<bool> edge_removed(q.num_edges(), false);
+  CoverWithPacking out;
+
+  auto attr_index = [&](AttrId a) {
+    return static_cast<std::size_t>(
+        std::find(all_attrs.begin(), all_attrs.end(), a) - all_attrs.begin());
+  };
+  auto live_attrs_of = [&](EdgeId e) {
+    std::vector<AttrId> out;
+    for (AttrId a : q.edge(e).attrs()) {
+      if (!attr_removed[attr_index(a)]) out.push_back(a);
+    }
+    return out;
+  };
+  auto live_degree = [&](AttrId a) {
+    std::uint32_t d = 0;
+    for (EdgeId e = 0; e < q.num_edges(); ++e) {
+      if (!edge_removed[e] && q.edge(e).Contains(a)) ++d;
+    }
+    return d;
+  };
+  auto uncovered_exists = [&] {
+    return std::find(attr_removed.begin(), attr_removed.end(), false) !=
+           attr_removed.end();
+  };
+
+  while (uncovered_exists()) {
+    // "Let e be any edge containing unique attributes" (w.r.t. the live
+    // sub-hypergraph). Lemma 1 guarantees one exists in an acyclic query
+    // unless all remaining live attributes are shared (e.g. duplicate bud
+    // edges), in which case any live edge works.
+    EdgeId pick = q.num_edges();
+    AttrId pick_witness = 0;
+    bool has_witness = false;
+    for (EdgeId e = 0; e < q.num_edges(); ++e) {
+      if (edge_removed[e]) continue;
+      for (AttrId a : live_attrs_of(e)) {
+        if (live_degree(a) == 1) {
+          pick = e;
+          pick_witness = a;
+          has_witness = true;
+          break;
+        }
+      }
+      if (pick != q.num_edges()) break;
+    }
+    if (pick == q.num_edges()) {
+      // No unique live attribute anywhere. Discard a dominated edge (its
+      // live attributes are a subset of another live edge's) — it can
+      // never be needed by a minimum cover, and its removal re-creates
+      // unique attributes (e.g. buds next to an internal edge).
+      bool discarded = false;
+      for (EdgeId e = 0; e < q.num_edges() && !discarded; ++e) {
+        if (edge_removed[e]) continue;
+        const std::vector<AttrId> live_e = live_attrs_of(e);
+        if (live_e.empty()) continue;
+        for (EdgeId f = 0; f < q.num_edges(); ++f) {
+          if (f == e || edge_removed[f]) continue;
+          const std::vector<AttrId> live_f = live_attrs_of(f);
+          bool subset = true;
+          for (AttrId a : live_e) {
+            if (std::find(live_f.begin(), live_f.end(), a) == live_f.end()) {
+              subset = false;
+              break;
+            }
+          }
+          if (subset && live_f.size() >= live_e.size()) {
+            edge_removed[e] = true;
+            discarded = true;
+            break;
+          }
+        }
+      }
+      if (discarded) continue;
+      // Last resort: any live edge.
+      for (EdgeId e = 0; e < q.num_edges(); ++e) {
+        if (!edge_removed[e] && !live_attrs_of(e).empty()) {
+          pick = e;
+          break;
+        }
+      }
+    }
+    assert(pick < q.num_edges());
+    if (!has_witness) {
+      // Last-resort pick: witness with any live attribute (acyclic
+      // queries rarely reach here; duplicate buds can).
+      pick_witness = live_attrs_of(pick).front();
+    }
+    out.cover.push_back(pick);
+    out.packing.push_back(pick_witness);
+    for (AttrId a : q.edge(pick).attrs()) attr_removed[attr_index(a)] = true;
+    edge_removed[pick] = true;
+  }
+  return out;
+}
+
+}  // namespace emjoin::query

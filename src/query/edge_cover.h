@@ -1,0 +1,48 @@
+#ifndef EMJOIN_QUERY_EDGE_COVER_H_
+#define EMJOIN_QUERY_EDGE_COVER_H_
+
+#include <vector>
+
+#include "query/hypergraph.h"
+
+namespace emjoin::query {
+
+/// An integral edge cover together with its AGM product Π_{e in cover} N(e).
+struct EdgeCover {
+  std::vector<EdgeId> edges;
+  /// Π N(e) over the cover, as long double (can exceed 2^64).
+  long double product = 1.0L;
+};
+
+/// Optimal fractional edge cover of an acyclic query. By Lemma 2 the LP
+/// optimum is integral (x(e) ∈ {0,1}), so this enumerates covering subsets
+/// and minimizes Π N(e)^{x(e)} — O(2^n) with constant query size.
+/// All sizes N(e) must be set (> 0).
+EdgeCover OptimalEdgeCover(const JoinQuery& q);
+
+/// The AGM bound max_R |Q(R)| = min_x Π N(e)^{x(e)} (§2.1).
+long double AgmBound(const JoinQuery& q);
+
+/// Greedy minimum (cardinality) edge cover for acyclic hypergraphs,
+/// Algorithm 6: repeatedly pick an edge containing unique attributes,
+/// remove it and its attributes. Ignores N(e); used for the equal-size
+/// case (§7.1) where the optimal cover is the minimum-cardinality one.
+std::vector<EdgeId> GreedyMinEdgeCover(const JoinQuery& q);
+
+/// A minimum edge cover together with its dual vertex packing witness
+/// (§7.1, LP duality): packing[i] is an attribute that was unique to
+/// cover[i] at the moment the greedy picked it, so no relation contains
+/// two packing attributes. Drives the equal-size worst-case instance.
+struct CoverWithPacking {
+  std::vector<EdgeId> cover;
+  std::vector<AttrId> packing;
+};
+
+CoverWithPacking GreedyCoverWithPacking(const JoinQuery& q);
+
+/// True if `edges` covers every attribute of `q`.
+bool IsEdgeCover(const JoinQuery& q, const std::vector<EdgeId>& edges);
+
+}  // namespace emjoin::query
+
+#endif  // EMJOIN_QUERY_EDGE_COVER_H_

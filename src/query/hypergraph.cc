@@ -1,0 +1,234 @@
+#include "query/hypergraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace emjoin::query {
+
+namespace {
+
+/// Union-find over a small id space.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns false if x and y were already connected (i.e. a cycle).
+  bool Union(std::size_t x, std::size_t y) {
+    const std::size_t rx = Find(x), ry = Find(y);
+    if (rx == ry) return false;
+    parent_[rx] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+EdgeId JoinQuery::AddRelation(Schema schema, TupleCount size) {
+  edges_.push_back(std::move(schema));
+  sizes_.push_back(size);
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+std::vector<AttrId> JoinQuery::attrs() const {
+  std::vector<AttrId> out;
+  for (const Schema& s : edges_) {
+    for (AttrId a : s.attrs()) {
+      if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+    }
+  }
+  return out;
+}
+
+std::vector<EdgeId> JoinQuery::EdgesWith(AttrId a) const {
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    if (edges_[e].Contains(a)) out.push_back(e);
+  }
+  return out;
+}
+
+std::uint32_t JoinQuery::AttrDegree(AttrId a) const {
+  std::uint32_t d = 0;
+  for (const Schema& s : edges_) {
+    if (s.Contains(a)) ++d;
+  }
+  return d;
+}
+
+bool JoinQuery::IsBergeAcyclic() const {
+  // Nodes: attributes [0, A) then edges [A, A+E). The incidence graph is
+  // acyclic iff every (attr, edge) incidence unions two fresh components.
+  const std::vector<AttrId> all = attrs();
+  UnionFind uf(all.size() + edges_.size());
+  auto attr_index = [&](AttrId a) {
+    return static_cast<std::size_t>(
+        std::find(all.begin(), all.end(), a) - all.begin());
+  };
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    for (AttrId a : edges_[e].attrs()) {
+      if (!uf.Union(attr_index(a), all.size() + e)) return false;
+    }
+  }
+  return true;
+}
+
+bool JoinQuery::IsConnected() const {
+  if (edges_.empty()) return true;
+  std::vector<EdgeId> all(num_edges());
+  std::iota(all.begin(), all.end(), 0);
+  return ConnectedComponents(all).size() == 1;
+}
+
+std::vector<std::vector<EdgeId>> JoinQuery::ConnectedComponents(
+    const std::vector<EdgeId>& subset) const {
+  UnionFind uf(subset.size());
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    for (std::size_t j = i + 1; j < subset.size(); ++j) {
+      if (!edges_[subset[i]].CommonAttrs(edges_[subset[j]]).empty()) {
+        uf.Union(i, j);
+      }
+    }
+  }
+  std::vector<std::vector<EdgeId>> components;
+  std::vector<int> component_of(subset.size(), -1);
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    const std::size_t root = uf.Find(i);
+    if (component_of[root] < 0) {
+      component_of[root] = static_cast<int>(components.size());
+      components.emplace_back();
+    }
+    components[component_of[root]].push_back(subset[i]);
+  }
+  return components;
+}
+
+JoinQuery JoinQuery::WithoutEdge(EdgeId e) const {
+  JoinQuery q;
+  for (EdgeId i = 0; i < num_edges(); ++i) {
+    if (i != e) q.AddRelation(edges_[i], sizes_[i]);
+  }
+  return q;
+}
+
+JoinQuery JoinQuery::WithoutAttrs(const std::vector<AttrId>& attrs) const {
+  JoinQuery q;
+  for (EdgeId i = 0; i < num_edges(); ++i) {
+    std::vector<AttrId> kept;
+    for (AttrId a : edges_[i].attrs()) {
+      if (std::find(attrs.begin(), attrs.end(), a) == attrs.end()) {
+        kept.push_back(a);
+      }
+    }
+    if (!kept.empty()) q.AddRelation(Schema(std::move(kept)), sizes_[i]);
+  }
+  return q;
+}
+
+std::string JoinQuery::ToString() const {
+  std::ostringstream os;
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    if (e > 0) os << " ⋈ ";
+    os << "R" << e << edges_[e].ToString();
+    if (sizes_[e] > 0) os << "[N=" << sizes_[e] << "]";
+  }
+  return os.str();
+}
+
+JoinQuery JoinQuery::Line(std::uint32_t n,
+                          const std::vector<TupleCount>& sizes) {
+  assert(sizes.empty() || sizes.size() == n);
+  JoinQuery q;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    q.AddRelation(Schema({i, i + 1}), sizes.empty() ? 0 : sizes[i]);
+  }
+  return q;
+}
+
+JoinQuery JoinQuery::Star(std::uint32_t petals,
+                          const std::vector<TupleCount>& sizes) {
+  assert(sizes.empty() || sizes.size() == petals + 1);
+  JoinQuery q;
+  // Core uses attrs [0, petals); petal i adds unique attr petals + i.
+  std::vector<AttrId> core_attrs;
+  for (std::uint32_t i = 0; i < petals; ++i) core_attrs.push_back(i);
+  q.AddRelation(Schema(core_attrs), sizes.empty() ? 0 : sizes[0]);
+  for (std::uint32_t i = 0; i < petals; ++i) {
+    q.AddRelation(Schema({i, petals + i}), sizes.empty() ? 0 : sizes[i + 1]);
+  }
+  return q;
+}
+
+JoinQuery JoinQuery::Lollipop(std::uint32_t petals,
+                              const std::vector<TupleCount>& sizes) {
+  assert(petals >= 1);
+  assert(sizes.empty() || sizes.size() == petals + 2u);
+  auto size_of = [&](std::size_t i) -> TupleCount {
+    return sizes.empty() ? 0 : sizes[i];
+  };
+  JoinQuery q;
+  // Core over v_1..v_p = attrs 0..p-1.
+  std::vector<AttrId> core_attrs;
+  for (std::uint32_t i = 0; i < petals; ++i) core_attrs.push_back(i);
+  q.AddRelation(Schema(core_attrs), size_of(0));
+  // Plain petals on v_1..v_{p-1}, unique attrs p..2p-2.
+  for (std::uint32_t i = 0; i + 1 < petals; ++i) {
+    q.AddRelation(Schema({i, petals + i}), size_of(1 + i));
+  }
+  // Extending petal e_n = {v_p, v_{n+1}} and tail e_{n+1} = {v_{n+1}, u}.
+  const AttrId mid = 2 * petals - 1;
+  q.AddRelation(Schema({petals - 1, mid}), size_of(petals));
+  q.AddRelation(Schema({mid, mid + 1}), size_of(petals + 1));
+  return q;
+}
+
+JoinQuery JoinQuery::Dumbbell(std::uint32_t left_petals,
+                              std::uint32_t right_petals,
+                              const std::vector<TupleCount>& sizes) {
+  assert(left_petals >= 1 && right_petals >= 1);
+  const std::size_t total = 1 + (left_petals - 1) + 1 + 1 + (right_petals - 1);
+  assert(sizes.empty() || sizes.size() == total);
+  (void)total;
+  auto size_of = [&](std::size_t i) -> TupleCount {
+    return sizes.empty() ? 0 : sizes[i];
+  };
+  JoinQuery q;
+  std::size_t idx = 0;
+  // Left core over attrs 0..l-1.
+  std::vector<AttrId> left_core;
+  for (std::uint32_t i = 0; i < left_petals; ++i) left_core.push_back(i);
+  q.AddRelation(Schema(left_core), size_of(idx++));
+  // Left plain petals, unique attrs l..2l-2.
+  for (std::uint32_t i = 0; i + 1 < left_petals; ++i) {
+    q.AddRelation(Schema({i, left_petals + i}), size_of(idx++));
+  }
+  // Shared petal {v_l, w_1}.
+  const AttrId w0 = 2 * left_petals - 1;
+  q.AddRelation(Schema({left_petals - 1, w0}), size_of(idx++));
+  // Right core over attrs w0..w0+r-1.
+  std::vector<AttrId> right_core;
+  for (std::uint32_t j = 0; j < right_petals; ++j) right_core.push_back(w0 + j);
+  q.AddRelation(Schema(right_core), size_of(idx++));
+  // Right plain petals on w_2..w_r, unique attrs after the cores.
+  const AttrId unique_base = w0 + right_petals;
+  for (std::uint32_t j = 1; j < right_petals; ++j) {
+    q.AddRelation(Schema({w0 + j, unique_base + j}), size_of(idx++));
+  }
+  return q;
+}
+
+}  // namespace emjoin::query

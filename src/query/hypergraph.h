@@ -1,0 +1,105 @@
+#ifndef EMJOIN_QUERY_HYPERGRAPH_H_
+#define EMJOIN_QUERY_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace emjoin::query {
+
+using storage::AttrId;
+using storage::Schema;
+
+/// Index of a relation (hyperedge) within a JoinQuery.
+using EdgeId = std::uint32_t;
+
+/// A natural join query Q = (V, E, N): a hypergraph whose vertices are
+/// attributes and whose hyperedges are relation schemas, plus a size bound
+/// N(e) per relation (§1.1).
+///
+/// JoinQuery is a small value type; the recursive algorithms freely derive
+/// modified copies (edge removed, attributes dropped).
+class JoinQuery {
+ public:
+  JoinQuery() = default;
+
+  /// Adds a relation with the given schema and size bound N(e).
+  EdgeId AddRelation(Schema schema, TupleCount size = 0);
+
+  std::uint32_t num_edges() const {
+    return static_cast<std::uint32_t>(edges_.size());
+  }
+
+  const Schema& edge(EdgeId e) const { return edges_[e]; }
+  TupleCount size(EdgeId e) const { return sizes_[e]; }
+  void set_size(EdgeId e, TupleCount n) { sizes_[e] = n; }
+
+  /// All attributes appearing in any edge (deduplicated, insertion order).
+  std::vector<AttrId> attrs() const;
+
+  /// Edges containing attribute `a`.
+  std::vector<EdgeId> EdgesWith(AttrId a) const;
+
+  /// Number of edges containing attribute `a`.
+  std::uint32_t AttrDegree(AttrId a) const;
+
+  /// Berge acyclicity: the bipartite incidence graph (attributes vs.
+  /// edges) contains no cycle (§1.3). Note this implies any two relations
+  /// share at most one attribute.
+  bool IsBergeAcyclic() const;
+
+  /// True if the join graph over all edges is connected (edges adjacent
+  /// when they share an attribute).
+  bool IsConnected() const;
+
+  /// Connected components of the sub-hypergraph induced by `subset`
+  /// (adjacency = shared attribute within the subset).
+  std::vector<std::vector<EdgeId>> ConnectedComponents(
+      const std::vector<EdgeId>& subset) const;
+
+  /// The query with edge `e` removed (edge ids above `e` shift down).
+  JoinQuery WithoutEdge(EdgeId e) const;
+
+  /// The query with attributes `attrs` removed from every edge. Edges
+  /// whose schema becomes empty are dropped.
+  JoinQuery WithoutAttrs(const std::vector<AttrId>& attrs) const;
+
+  std::string ToString() const;
+
+  // --- Common query shapes (used throughout tests and benches) ---
+
+  /// Line join L_n: e_i = {v_i, v_{i+1}}, i = 1..n (Fig. 7).
+  static JoinQuery Line(std::uint32_t n,
+                        const std::vector<TupleCount>& sizes = {});
+
+  /// Star join: core e_0 = {v_1..v_k}, petals e_i = {v_i, u_i} (Fig. 5),
+  /// `sizes` order: core first, then petals.
+  static JoinQuery Star(std::uint32_t petals,
+                        const std::vector<TupleCount>& sizes = {});
+
+  /// Lollipop join (Fig. 8): a star with `petals` >= 1 petals whose last
+  /// petal e_n = {v_n, v_{n+1}} extends to one more relation
+  /// e_{n+1} = {v_{n+1}, u}. Edge order: core, petals e_1..e_{n-1}, e_n,
+  /// e_{n+1}.
+  static JoinQuery Lollipop(std::uint32_t petals,
+                            const std::vector<TupleCount>& sizes = {});
+
+  /// Dumbbell join (Fig. 9): two stars sharing a common petal. Left core
+  /// e_0 over {v_1..v_n} with petals e_1..e_{n-1}; the shared petal
+  /// e_n = {v_n, w_1}; right core e_m over {w_1..w_k} with petals on
+  /// w_2..w_k. Edge order: left core, left petals, shared petal, right
+  /// core, right petals.
+  static JoinQuery Dumbbell(std::uint32_t left_petals,
+                            std::uint32_t right_petals,
+                            const std::vector<TupleCount>& sizes = {});
+
+ private:
+  std::vector<Schema> edges_;
+  std::vector<TupleCount> sizes_;
+};
+
+}  // namespace emjoin::query
+
+#endif  // EMJOIN_QUERY_HYPERGRAPH_H_

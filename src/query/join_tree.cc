@@ -1,0 +1,56 @@
+#include "query/join_tree.h"
+
+#include <cassert>
+#include <functional>
+
+namespace emjoin::query {
+
+JoinTree BuildJoinTree(const JoinQuery& q) {
+  assert(q.IsBergeAcyclic());
+  const std::uint32_t n = q.num_edges();
+
+  // Undirected adjacency via per-attribute hubs.
+  std::vector<std::vector<std::pair<EdgeId, AttrId>>> adj(n);
+  for (AttrId a : q.attrs()) {
+    const std::vector<EdgeId> with = q.EdgesWith(a);
+    for (std::size_t i = 1; i < with.size(); ++i) {
+      adj[with[0]].push_back({with[i], a});
+      adj[with[i]].push_back({with[0], a});
+    }
+  }
+
+  JoinTree tree;
+  tree.parent.assign(n, -1);
+  tree.parent_attr.assign(n, 0);
+  tree.children.assign(n, {});
+
+  std::vector<bool> visited(n, false);
+  for (EdgeId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    tree.roots.push_back(root);
+    // Iterative DFS; record bottom-up order by post-order push.
+    std::vector<std::pair<EdgeId, std::size_t>> stack;
+    stack.push_back({root, 0});
+    visited[root] = true;
+    while (!stack.empty()) {
+      auto& [e, next_child] = stack.back();
+      if (next_child < adj[e].size()) {
+        const auto [f, a] = adj[e][next_child];
+        ++next_child;
+        if (!visited[f]) {
+          visited[f] = true;
+          tree.parent[f] = static_cast<int>(e);
+          tree.parent_attr[f] = a;
+          tree.children[e].push_back(f);
+          stack.push_back({f, 0});
+        }
+      } else {
+        tree.bottom_up.push_back(e);
+        stack.pop_back();
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace emjoin::query

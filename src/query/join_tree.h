@@ -1,0 +1,33 @@
+#ifndef EMJOIN_QUERY_JOIN_TREE_H_
+#define EMJOIN_QUERY_JOIN_TREE_H_
+
+#include <vector>
+
+#include "query/hypergraph.h"
+
+namespace emjoin::query {
+
+/// A join forest over the relations of a Berge-acyclic query: adjacent
+/// edges share exactly one attribute. Used by the full reducer,
+/// Yannakakis baseline, and the cardinality counter.
+struct JoinTree {
+  /// parent[e] is the parent edge of e, or -1 for a root.
+  std::vector<int> parent;
+  /// Attribute shared between e and parent[e] (unset for roots).
+  std::vector<AttrId> parent_attr;
+  /// Children of each edge.
+  std::vector<std::vector<EdgeId>> children;
+  /// Every edge, children before parents (bottom-up order).
+  std::vector<EdgeId> bottom_up;
+  /// Roots, one per connected component.
+  std::vector<EdgeId> roots;
+};
+
+/// Builds a join forest for a Berge-acyclic query. For every attribute
+/// shared by k edges, one edge acts as a hub and the others attach to it;
+/// Berge-acyclicity guarantees the result is a forest.
+JoinTree BuildJoinTree(const JoinQuery& q);
+
+}  // namespace emjoin::query
+
+#endif  // EMJOIN_QUERY_JOIN_TREE_H_

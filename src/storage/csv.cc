@@ -1,0 +1,141 @@
+#include "storage/csv.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace emjoin::storage {
+
+namespace {
+
+bool ParseFields(const std::string& line, std::uint32_t expected,
+                 Tuple* out, std::string* error) {
+  out->clear();
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t comma = line.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? line.size() : comma;
+    // Trim spaces.
+    std::size_t b = pos, e = end;
+    while (b < e && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(line[e - 1]))) {
+      --e;
+    }
+    Value v = 0;
+    const auto [ptr, ec] = std::from_chars(line.data() + b, line.data() + e,
+                                           v);
+    if (ec != std::errc() || ptr != line.data() + e || b == e) {
+      *error = "non-numeric field '" + line.substr(pos, end - pos) + "'";
+      return false;
+    }
+    out->push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out->size() != expected) {
+    std::ostringstream os;
+    os << "expected " << expected << " fields, got " << out->size();
+    *error = os.str();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Relation> RelationFromCsv(extmem::Device* dev, Schema schema,
+                                        std::istream& in,
+                                        std::string* error) {
+  std::vector<Tuple> rows;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip a trailing CR (files from other platforms).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    Tuple t;
+    std::string field_error;
+    if (!ParseFields(line, schema.arity(), &t, &field_error)) {
+      std::ostringstream os;
+      os << "line " << line_no << ": " << field_error;
+      *error = os.str();
+      return std::nullopt;
+    }
+    rows.push_back(std::move(t));
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return Relation::FromTuples(dev, std::move(schema), rows);
+}
+
+std::optional<Relation> RelationFromCsvFile(extmem::Device* dev,
+                                            Schema schema,
+                                            const std::string& path,
+                                            std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  return RelationFromCsv(dev, std::move(schema), in, error);
+}
+
+void RelationToCsv(const Relation& rel, std::ostream& out) {
+  extmem::FileReader reader(rel.range());
+  const std::uint32_t w = rel.schema().arity();
+  while (!reader.Done()) {
+    const Value* t = reader.Next();
+    for (std::uint32_t i = 0; i < w; ++i) {
+      if (i > 0) out << ',';
+      out << t[i];
+    }
+    out << '\n';
+  }
+}
+
+std::optional<Schema> ParseSchemaSpec(const std::string& spec,
+                                      std::vector<std::string>* names,
+                                      std::string* error) {
+  std::vector<AttrId> attrs;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    std::string name = spec.substr(pos, end - pos);
+    // Trim.
+    while (!name.empty() && std::isspace(static_cast<unsigned char>(
+                                name.front()))) {
+      name.erase(name.begin());
+    }
+    while (!name.empty() &&
+           std::isspace(static_cast<unsigned char>(name.back()))) {
+      name.pop_back();
+    }
+    if (name.empty()) {
+      *error = "empty attribute name in '" + spec + "'";
+      return std::nullopt;
+    }
+    const auto it = std::find(names->begin(), names->end(), name);
+    AttrId id;
+    if (it == names->end()) {
+      id = static_cast<AttrId>(names->size());
+      names->push_back(name);
+    } else {
+      id = static_cast<AttrId>(it - names->begin());
+    }
+    if (std::find(attrs.begin(), attrs.end(), id) != attrs.end()) {
+      *error = "duplicate attribute '" + name + "' in '" + spec + "'";
+      return std::nullopt;
+    }
+    attrs.push_back(id);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return Schema(std::move(attrs));
+}
+
+}  // namespace emjoin::storage

@@ -1,0 +1,41 @@
+#ifndef EMJOIN_STORAGE_CSV_H_
+#define EMJOIN_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace emjoin::storage {
+
+/// Parses a relation from CSV text with unsigned-integer columns, one
+/// tuple per line. Empty lines and lines starting with '#' are skipped;
+/// duplicate rows are removed (relations are sets). Returns nullopt with
+/// `error` set on malformed input (wrong column count, non-numeric
+/// field). Loading charges the materialization write, like FromTuples.
+std::optional<Relation> RelationFromCsv(extmem::Device* dev, Schema schema,
+                                        std::istream& in,
+                                        std::string* error);
+
+/// Convenience: parse from a file path.
+std::optional<Relation> RelationFromCsvFile(extmem::Device* dev,
+                                            Schema schema,
+                                            const std::string& path,
+                                            std::string* error);
+
+/// Writes `rel` as CSV (one tuple per line), charging a sequential scan.
+void RelationToCsv(const Relation& rel, std::ostream& out);
+
+/// Parses "a,b,c" into a Schema over attribute ids. Attribute names are
+/// interned in `names` (first occurrence assigns the next id), so several
+/// relations can share attributes by name. Returns nullopt on duplicates
+/// within one schema.
+std::optional<Schema> ParseSchemaSpec(const std::string& spec,
+                                      std::vector<std::string>* names,
+                                      std::string* error);
+
+}  // namespace emjoin::storage
+
+#endif  // EMJOIN_STORAGE_CSV_H_

@@ -1,0 +1,43 @@
+#include "storage/schema.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace emjoin::storage {
+
+Schema::Schema(std::vector<AttrId> attrs) : attrs_(std::move(attrs)) {
+  // Attributes must be distinct within a relation.
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    for (std::size_t j = i + 1; j < attrs_.size(); ++j) {
+      assert(attrs_[i] != attrs_[j]);
+    }
+  }
+}
+
+std::optional<std::uint32_t> Schema::PositionOf(AttrId a) const {
+  for (std::uint32_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == a) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<AttrId> Schema::CommonAttrs(const Schema& other) const {
+  std::vector<AttrId> common;
+  for (AttrId a : attrs_) {
+    if (other.Contains(a)) common.push_back(a);
+  }
+  return common;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "v" << attrs_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace emjoin::storage

@@ -1,0 +1,49 @@
+#ifndef EMJOIN_STORAGE_SCHEMA_H_
+#define EMJOIN_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "extmem/defs.h"
+
+namespace emjoin::storage {
+
+/// Identifier of an attribute (a vertex of the query hypergraph).
+using AttrId = std::uint32_t;
+
+/// Ordered list of attributes of one relation. The order fixes the column
+/// layout of tuples on disk.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttrId> attrs);
+
+  std::uint32_t arity() const {
+    return static_cast<std::uint32_t>(attrs_.size());
+  }
+
+  AttrId attr(std::uint32_t pos) const { return attrs_[pos]; }
+
+  const std::vector<AttrId>& attrs() const { return attrs_; }
+
+  /// Column position of attribute `a`, if present.
+  std::optional<std::uint32_t> PositionOf(AttrId a) const;
+
+  bool Contains(AttrId a) const { return PositionOf(a).has_value(); }
+
+  /// Attributes present in both schemas (in this schema's order).
+  std::vector<AttrId> CommonAttrs(const Schema& other) const;
+
+  bool operator==(const Schema& other) const { return attrs_ == other.attrs_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<AttrId> attrs_;
+};
+
+}  // namespace emjoin::storage
+
+#endif  // EMJOIN_STORAGE_SCHEMA_H_

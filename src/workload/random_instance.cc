@@ -1,0 +1,79 @@
+#include "workload/random_instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+
+namespace emjoin::workload {
+
+namespace {
+
+// Draws a value in [0, n) with probability proportional to 1/(k+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(TupleCount n, double s) : n_(n), s_(s) {
+    if (s_ > 0.0) {
+      cdf_.reserve(n_);
+      double acc = 0.0;
+      for (TupleCount k = 0; k < n_; ++k) {
+        acc += 1.0 / std::pow(static_cast<double>(k + 1), s_);
+        cdf_.push_back(acc);
+      }
+    }
+  }
+
+  Value Sample(std::mt19937_64& rng) const {
+    if (s_ <= 0.0) {
+      std::uniform_int_distribution<Value> dist(0, n_ - 1);
+      return dist(rng);
+    }
+    std::uniform_real_distribution<double> dist(0.0, cdf_.back());
+    const double u = dist(rng);
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<Value>(it - cdf_.begin());
+  }
+
+ private:
+  TupleCount n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+std::vector<storage::Relation> RandomInstance(
+    extmem::Device* dev, const query::JoinQuery& q,
+    const std::vector<TupleCount>& sizes, const RandomOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  const ZipfSampler sampler(options.domain_size, options.zipf_s);
+
+  std::vector<storage::Relation> rels;
+  for (query::EdgeId e = 0; e < q.num_edges(); ++e) {
+    const storage::Schema& schema = q.edge(e);
+    const std::uint32_t arity = schema.arity();
+
+    // Cap at the number of distinct tuples available.
+    long double max_distinct = 1.0L;
+    for (std::uint32_t i = 0; i < arity; ++i) {
+      max_distinct *= static_cast<long double>(options.domain_size);
+    }
+    TupleCount target = sizes[e];
+    if (static_cast<long double>(target) > max_distinct) {
+      target = static_cast<TupleCount>(max_distinct);
+    }
+
+    std::set<storage::Tuple> distinct;
+    while (distinct.size() < target) {
+      storage::Tuple t(arity);
+      for (std::uint32_t i = 0; i < arity; ++i) t[i] = sampler.Sample(rng);
+      distinct.insert(std::move(t));
+    }
+    rels.push_back(storage::Relation::FromTuples(
+        dev, schema,
+        std::vector<storage::Tuple>(distinct.begin(), distinct.end())));
+  }
+  return rels;
+}
+
+}  // namespace emjoin::workload

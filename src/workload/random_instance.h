@@ -1,0 +1,32 @@
+#ifndef EMJOIN_WORKLOAD_RANDOM_INSTANCE_H_
+#define EMJOIN_WORKLOAD_RANDOM_INSTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/hypergraph.h"
+#include "storage/relation.h"
+
+namespace emjoin::workload {
+
+/// Controls for random instance generation (correctness sweeps).
+struct RandomOptions {
+  std::uint64_t seed = 42;
+  /// Values per attribute domain. Smaller domains produce denser joins
+  /// and more skew.
+  TupleCount domain_size = 16;
+  /// Zipf exponent for value popularity; 0 = uniform. Positive values
+  /// concentrate mass on low values, creating heavy join keys.
+  double zipf_s = 0.0;
+};
+
+/// A random instance of `q`: relation e receives `sizes[e]` *distinct*
+/// tuples with attribute values drawn from [0, domain_size). `sizes[e]`
+/// is capped at domain_size^arity. Not necessarily fully reduced.
+std::vector<storage::Relation> RandomInstance(
+    extmem::Device* dev, const query::JoinQuery& q,
+    const std::vector<TupleCount>& sizes, const RandomOptions& options = {});
+
+}  // namespace emjoin::workload
+
+#endif  // EMJOIN_WORKLOAD_RANDOM_INSTANCE_H_

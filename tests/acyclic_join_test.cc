@@ -1,0 +1,187 @@
+#include "core/acyclic_join.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reference.h"
+#include "counting/cardinality.h"
+#include "tests/test_util.h"
+#include "workload/constructions.h"
+#include "workload/random_instance.h"
+
+namespace emjoin {
+namespace {
+
+using core::AcyclicJoin;
+using core::AcyclicJoinOptions;
+using storage::Relation;
+using test::MakeRel;
+
+std::vector<std::vector<Value>> RunAcyclic(
+    const std::vector<Relation>& rels, const AcyclicJoinOptions& opts = {}) {
+  core::CollectingSink sink;
+  AcyclicJoin(rels, sink.AsEmitFn(), opts);
+  return test::Sorted(std::move(sink.results()));
+}
+
+// Algorithm 2's results must equal the reference join's (both over
+// MakeResultSchema(rels), so orders agree).
+void ExpectMatchesReference(const std::vector<Relation>& rels) {
+  const auto expected = core::ReferenceJoin(rels);
+  const auto actual = RunAcyclic(rels);
+  ASSERT_EQ(expected.size(), actual.size());
+  EXPECT_EQ(expected, actual);
+}
+
+TEST(AcyclicJoinTest, SingleRelationEmitsAllTuples) {
+  extmem::Device dev(64, 8);
+  const Relation r = MakeRel(&dev, {0, 1}, {{1, 2}, {3, 4}, {5, 6}});
+  ExpectMatchesReference({r});
+}
+
+TEST(AcyclicJoinTest, TwoRelationJoin) {
+  extmem::Device dev(64, 8);
+  const Relation r1 = MakeRel(&dev, {0, 1}, {{1, 10}, {2, 10}, {3, 20}});
+  const Relation r2 = MakeRel(&dev, {1, 2}, {{10, 7}, {20, 8}, {30, 9}});
+  ExpectMatchesReference({r1, r2});
+}
+
+TEST(AcyclicJoinTest, TwoRelationCrossProductViaIslands) {
+  extmem::Device dev(64, 8);
+  const Relation r1 = MakeRel(&dev, {0, 1}, {{1, 2}, {3, 4}});
+  const Relation r2 = MakeRel(&dev, {2, 3}, {{5, 6}, {7, 8}, {9, 10}});
+  ExpectMatchesReference({r1, r2});
+}
+
+TEST(AcyclicJoinTest, LineThreeTiny) {
+  extmem::Device dev(64, 8);
+  const Relation r1 = MakeRel(&dev, {0, 1}, {{1, 5}, {2, 5}, {3, 6}});
+  const Relation r2 = MakeRel(&dev, {1, 2}, {{5, 8}, {6, 9}});
+  const Relation r3 = MakeRel(&dev, {2, 3}, {{8, 100}, {9, 200}, {9, 300}});
+  ExpectMatchesReference({r1, r2, r3});
+}
+
+TEST(AcyclicJoinTest, DanglingTuplesAreFiltered) {
+  extmem::Device dev(64, 8);
+  // r2's (6, 9) has no continuation in r3; r3's (7, ...) no support in r2.
+  const Relation r1 = MakeRel(&dev, {0, 1}, {{1, 5}, {2, 6}});
+  const Relation r2 = MakeRel(&dev, {1, 2}, {{5, 8}, {6, 9}});
+  const Relation r3 = MakeRel(&dev, {2, 3}, {{8, 100}, {7, 200}});
+  ExpectMatchesReference({r1, r2, r3});
+}
+
+TEST(AcyclicJoinTest, BudSingleAttributeRelation) {
+  extmem::Device dev(64, 8);
+  // r2 = {v1} is a bud: it filters r1 ⋈ r3 to v1 ∈ {5, 6}.
+  const Relation r1 = MakeRel(&dev, {0, 1}, {{1, 5}, {2, 6}, {3, 7}});
+  const Relation bud = MakeRel(&dev, {1}, {{5}, {6}});
+  const Relation r3 = MakeRel(&dev, {1, 2}, {{5, 50}, {6, 60}, {7, 70}});
+  ExpectMatchesReference({r1, bud, r3});
+}
+
+TEST(AcyclicJoinTest, StarQueryTiny) {
+  extmem::Device dev(64, 8);
+  const Relation core = MakeRel(&dev, {0, 1}, {{1, 2}, {1, 3}});
+  const Relation p1 = MakeRel(&dev, {0, 10}, {{1, 100}, {1, 101}});
+  const Relation p2 = MakeRel(&dev, {1, 11}, {{2, 200}, {3, 300}});
+  ExpectMatchesReference({core, p1, p2});
+}
+
+TEST(AcyclicJoinTest, HeavyValuesExerciseHeavyPath) {
+  // M = 8: values with >= 8 leaf tuples go through the heavy branch.
+  extmem::Device dev(8, 2);
+  std::vector<storage::Tuple> r1_rows;
+  for (Value i = 0; i < 20; ++i) r1_rows.push_back({i, 5});   // heavy v=5
+  for (Value i = 100; i < 103; ++i) r1_rows.push_back({i, 6});  // light v=6
+  const storage::Relation r1 = MakeRel(&dev, {0, 1}, r1_rows);
+  const storage::Relation r2 =
+      MakeRel(&dev, {1, 2}, {{5, 1}, {5, 2}, {6, 3}});
+  ExpectMatchesReference({r1, r2});
+}
+
+TEST(AcyclicJoinTest, WorstCaseL3MatchesCountingOracle) {
+  extmem::Device dev(16, 4);
+  const auto rels = workload::L3WorstCase(&dev, 40, 1, 30);
+  core::CountingSink sink;
+  AcyclicJoin(rels, sink.AsEmitFn());
+  EXPECT_EQ(sink.count(), 40u * 30u);
+  EXPECT_EQ(counting::JoinSize(rels), 40u * 30u);
+}
+
+TEST(AcyclicJoinTest, StarWorstCase) {
+  extmem::Device dev(16, 4);
+  const auto rels = workload::StarWorstCase(&dev, {5, 6, 7});
+  core::CountingSink sink;
+  AcyclicJoin(rels, sink.AsEmitFn());
+  EXPECT_EQ(sink.count(), 5u * 6u * 7u);
+}
+
+struct RandomCase {
+  std::uint32_t line_n;     // 0 = star query instead
+  std::uint32_t petals;     // used when line_n == 0
+  TupleCount rel_size;
+  TupleCount domain;
+  double zipf;
+  std::uint64_t seed;
+};
+
+class AcyclicJoinRandomTest : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(AcyclicJoinRandomTest, MatchesReference) {
+  const RandomCase& c = GetParam();
+  extmem::Device dev(16, 4);
+  const query::JoinQuery q = c.line_n > 0 ? query::JoinQuery::Line(c.line_n)
+                                          : query::JoinQuery::Star(c.petals);
+  workload::RandomOptions opts;
+  opts.seed = c.seed;
+  opts.domain_size = c.domain;
+  opts.zipf_s = c.zipf;
+  const std::vector<TupleCount> sizes(q.num_edges(), c.rel_size);
+  const auto rels = workload::RandomInstance(&dev, q, sizes, opts);
+  ExpectMatchesReference(rels);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AcyclicJoinRandomTest,
+    ::testing::Values(
+        RandomCase{2, 0, 30, 8, 0.0, 1}, RandomCase{3, 0, 30, 8, 0.0, 2},
+        RandomCase{3, 0, 50, 6, 1.2, 3}, RandomCase{4, 0, 30, 6, 0.0, 4},
+        RandomCase{4, 0, 40, 5, 1.0, 5}, RandomCase{5, 0, 25, 5, 0.0, 6},
+        RandomCase{5, 0, 25, 4, 1.5, 7}, RandomCase{6, 0, 20, 4, 0.0, 8},
+        RandomCase{7, 0, 15, 4, 0.8, 9}, RandomCase{0, 2, 25, 6, 0.0, 10},
+        RandomCase{0, 3, 20, 5, 0.0, 11}, RandomCase{0, 4, 15, 4, 1.0, 12},
+        RandomCase{0, 3, 30, 4, 1.5, 13}, RandomCase{3, 0, 60, 4, 0.0, 14},
+        RandomCase{2, 0, 60, 4, 2.0, 15}, RandomCase{5, 0, 30, 3, 0.0, 16}));
+
+// The memory gauge must stay within a constant multiple of M (the paper
+// assumes memory c*M for constant c depending on query size).
+TEST(AcyclicJoinTest, MemoryStaysWithinConstantFactorOfM) {
+  extmem::Device dev(16, 4);
+  const query::JoinQuery q = query::JoinQuery::Line(5);
+  workload::RandomOptions opts;
+  opts.domain_size = 6;
+  const auto rels =
+      workload::RandomInstance(&dev, q, std::vector<TupleCount>(5, 60), opts);
+  core::CountingSink sink;
+  dev.gauge().ResetHighWater();
+  AcyclicJoin(rels, sink.AsEmitFn());
+  // Recursion depth <= 5 levels, each holding <= 2M plus sort/merge
+  // buffers; 8x is a comfortable constant bound.
+  EXPECT_LE(dev.gauge().high_water(), 8 * dev.M());
+}
+
+TEST(AcyclicJoinTest, FirstLeafChooserAlsoCorrect) {
+  extmem::Device dev(16, 4);
+  const query::JoinQuery q = query::JoinQuery::Line(4);
+  workload::RandomOptions opts;
+  opts.domain_size = 5;
+  const auto rels =
+      workload::RandomInstance(&dev, q, std::vector<TupleCount>(4, 40), opts);
+  AcyclicJoinOptions options;
+  options.leaf_chooser = gens::FirstLeafChooser();
+  const auto expected = core::ReferenceJoin(rels);
+  const auto actual = RunAcyclic(rels, options);
+  EXPECT_EQ(expected, actual);
+}
+
+}  // namespace
+}  // namespace emjoin

@@ -1,0 +1,97 @@
+#include "counting/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reference.h"
+#include "tests/test_util.h"
+#include "workload/random_instance.h"
+
+namespace emjoin::counting {
+namespace {
+
+using test::MakeRel;
+
+TEST(CardinalityTest, TwoRelations) {
+  extmem::Device dev(16, 4);
+  const auto r1 = MakeRel(&dev, {0, 1}, {{1, 10}, {2, 10}, {3, 20}});
+  const auto r2 = MakeRel(&dev, {1, 2}, {{10, 5}, {10, 6}, {20, 7}});
+  EXPECT_EQ(JoinSize({r1, r2}), 5u);  // 2*2 + 1*1
+}
+
+TEST(CardinalityTest, CrossProductOfComponents) {
+  extmem::Device dev(16, 4);
+  const auto r1 = MakeRel(&dev, {0, 1}, {{1, 2}, {3, 4}});
+  const auto r2 = MakeRel(&dev, {5, 6}, {{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_EQ(JoinSize({r1, r2}), 6u);
+}
+
+TEST(CardinalityTest, EmptyRelationGivesZero) {
+  extmem::Device dev(16, 4);
+  const auto r1 = MakeRel(&dev, {0, 1}, {{1, 2}});
+  const auto r2 = MakeRel(&dev, {1, 2}, {});
+  EXPECT_EQ(JoinSize({r1, r2}), 0u);
+}
+
+TEST(CardinalityTest, SubjoinSize) {
+  extmem::Device dev(16, 4);
+  const auto r1 = MakeRel(&dev, {0, 1}, {{1, 10}, {2, 10}});
+  const auto r2 = MakeRel(&dev, {1, 2}, {{10, 5}});
+  const auto r3 = MakeRel(&dev, {2, 3}, {{5, 7}, {5, 8}, {6, 9}});
+  EXPECT_EQ(SubjoinSize({r1, r2, r3}, {0, 1}), 2u);
+  EXPECT_EQ(SubjoinSize({r1, r2, r3}, {0, 2}), 6u);  // disconnected: 2*3
+  EXPECT_EQ(SubjoinSize({r1, r2, r3}, {0, 1, 2}), 4u);
+}
+
+TEST(CardinalityTest, MatchesReferenceOnRandomInstances) {
+  extmem::Device dev(16, 4);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const query::JoinQuery q =
+        seed % 2 == 0 ? query::JoinQuery::Line(4) : query::JoinQuery::Star(3);
+    workload::RandomOptions opts;
+    opts.seed = seed;
+    opts.domain_size = 5;
+    const auto rels = workload::RandomInstance(
+        &dev, q, std::vector<TupleCount>(q.num_edges(), 30), opts);
+    EXPECT_EQ(JoinSize(rels), core::ReferenceJoinCount(rels))
+        << "seed=" << seed;
+  }
+}
+
+TEST(CardinalityTest, PartialJoinEqualsSubjoinWhenConnected) {
+  extmem::Device dev(16, 4);
+  // Fully reduced L3 instance: connected S -> partial == subjoin (§1.4).
+  const auto r1 = MakeRel(&dev, {0, 1}, {{1, 10}, {2, 10}});
+  const auto r2 = MakeRel(&dev, {1, 2}, {{10, 5}});
+  const auto r3 = MakeRel(&dev, {2, 3}, {{5, 7}, {5, 8}});
+  EXPECT_EQ(PartialJoinSizeBrute({r1, r2, r3}, {0, 1}),
+            SubjoinSize({r1, r2, r3}, {0, 1}));
+}
+
+TEST(CardinalityTest, PartialJoinCanBeSmallerThanSubjoinWhenDisconnected) {
+  extmem::Device dev(16, 4);
+  // Figure 1's phenomenon: the subjoin on {R1, R3} is a cross product,
+  // but only some pairs extend to full results.
+  const auto r1 = MakeRel(&dev, {0, 1}, {{1, 10}, {2, 11}});
+  const auto r2 = MakeRel(&dev, {1, 2}, {{10, 5}, {11, 6}});
+  const auto r3 = MakeRel(&dev, {2, 3}, {{5, 7}, {6, 8}});
+  const std::uint64_t subjoin = SubjoinSize({r1, r2, r3}, {0, 2});
+  const std::uint64_t partial = PartialJoinSizeBrute({r1, r2, r3}, {0, 2});
+  EXPECT_EQ(subjoin, 4u);
+  EXPECT_EQ(partial, 2u);
+  EXPECT_LT(partial, subjoin);
+}
+
+TEST(CardinalityTest, SaturatesInsteadOfOverflowing) {
+  extmem::Device dev(16, 4);
+  // 5 disconnected relations of 2^13 tuples each: product 2^65 > 2^64.
+  std::vector<storage::Relation> rels;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    std::vector<storage::Tuple> rows;
+    for (Value j = 0; j < (1 << 13); ++j) rows.push_back({j});
+    rels.push_back(MakeRel(&dev, {i}, rows));
+  }
+  EXPECT_EQ(JoinSize(rels), std::numeric_limits<std::uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace emjoin::counting

@@ -1,0 +1,80 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace emjoin::storage {
+namespace {
+
+TEST(CsvTest, ParsesRowsSkipsCommentsAndDedupes) {
+  extmem::Device dev(16, 4);
+  std::istringstream in(
+      "# header comment\n"
+      "1, 10\n"
+      "2,20\n"
+      "\n"
+      "1,10\n");
+  std::string error;
+  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in, &error);
+  ASSERT_TRUE(rel.has_value()) << error;
+  EXPECT_EQ(rel->size(), 2u);
+}
+
+TEST(CsvTest, RejectsWrongArity) {
+  extmem::Device dev(16, 4);
+  std::istringstream in("1,2,3\n");
+  std::string error;
+  EXPECT_FALSE(RelationFromCsv(&dev, Schema({0, 1}), in, &error).has_value());
+  EXPECT_NE(error.find("expected 2 fields"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsNonNumeric) {
+  extmem::Device dev(16, 4);
+  std::istringstream in("1,apple\n");
+  std::string error;
+  EXPECT_FALSE(RelationFromCsv(&dev, Schema({0, 1}), in, &error).has_value());
+  EXPECT_NE(error.find("non-numeric"), std::string::npos);
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  extmem::Device dev(16, 4);
+  std::istringstream in("1,2\r\n3,4\r\n");
+  std::string error;
+  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in, &error);
+  ASSERT_TRUE(rel.has_value()) << error;
+  EXPECT_EQ(rel->size(), 2u);
+}
+
+TEST(CsvTest, RoundTrip) {
+  extmem::Device dev(16, 4);
+  std::istringstream in("5,6\n7,8\n");
+  std::string error;
+  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in, &error);
+  ASSERT_TRUE(rel.has_value());
+  std::ostringstream out;
+  RelationToCsv(*rel, out);
+  EXPECT_EQ(out.str(), "5,6\n7,8\n");
+}
+
+TEST(CsvTest, SchemaSpecInternsNamesAcrossRelations) {
+  std::vector<std::string> names;
+  std::string error;
+  const auto s1 = ParseSchemaSpec("user, account", &names, &error);
+  ASSERT_TRUE(s1.has_value()) << error;
+  const auto s2 = ParseSchemaSpec("account,thread", &names, &error);
+  ASSERT_TRUE(s2.has_value()) << error;
+  EXPECT_EQ(names, (std::vector<std::string>{"user", "account", "thread"}));
+  // "account" resolves to the same id in both schemas.
+  EXPECT_EQ(s1->attr(1), s2->attr(0));
+}
+
+TEST(CsvTest, SchemaSpecRejectsDuplicatesAndEmpties) {
+  std::vector<std::string> names;
+  std::string error;
+  EXPECT_FALSE(ParseSchemaSpec("a,a", &names, &error).has_value());
+  EXPECT_FALSE(ParseSchemaSpec("a,,b", &names, &error).has_value());
+}
+
+}  // namespace
+}  // namespace emjoin::storage

@@ -1,0 +1,160 @@
+// Edge cases called out in the paper's appendix and definitions:
+// multiple petals on one core attribute (A.2), queries that disconnect
+// under heavy peeling (Fig. 4), wide leaves with several unique
+// attributes, and chains of buds created by recursion.
+#include <gtest/gtest.h>
+
+#include "core/acyclic_join.h"
+#include "core/reference.h"
+#include "query/classify.h"
+#include "tests/test_util.h"
+#include "workload/random_instance.h"
+
+namespace emjoin {
+namespace {
+
+using core::AcyclicJoin;
+using storage::Relation;
+using test::MakeRel;
+
+void ExpectMatchesReference(const std::vector<Relation>& rels) {
+  core::CollectingSink sink;
+  AcyclicJoin(rels, sink.AsEmitFn());
+  EXPECT_EQ(test::Sorted(std::move(sink.results())),
+            core::ReferenceJoin(rels));
+}
+
+TEST(EdgeCasesTest, TwoPetalsOnTheSameCoreAttribute) {
+  // A.2: "if there are two or more petals in X joining with e0 on the
+  // same join attribute, we ask Algorithm 2 to peel off the extra petals
+  // first". Core {v0,v1}; petals {v0,u1} and {v0,u2} share v0.
+  extmem::Device dev(8, 2);
+  const Relation core = MakeRel(&dev, {0, 1}, {{1, 5}, {2, 6}});
+  const Relation p1 = MakeRel(&dev, {0, 10}, {{1, 100}, {1, 101}, {2, 102}});
+  const Relation p2 = MakeRel(&dev, {0, 11}, {{1, 200}, {2, 201}});
+  const Relation p3 = MakeRel(&dev, {1, 12}, {{5, 300}, {6, 301}});
+
+  // The classifier must see the same-attribute petals.
+  query::JoinQuery q;
+  for (const Relation& r : {core, p1, p2, p3}) {
+    q.AddRelation(r.schema(), r.size());
+  }
+  bool found_multi = false;
+  for (const query::Star& s : query::FindStars(q)) {
+    if (s.core == 0 && s.petals.size() == 3) found_multi = true;
+  }
+  EXPECT_TRUE(found_multi);
+
+  ExpectMatchesReference({core, p1, p2, p3});
+}
+
+TEST(EdgeCasesTest, HeavyPeelDisconnectsIntoThreeComponents) {
+  // Fig. 4: peeling a leaf with several neighbours and removing the join
+  // attribute splits the query. Leaf {v0,u}; three neighbours on v0,
+  // each continuing into its own chain.
+  extmem::Device dev(4, 2);
+  std::vector<storage::Tuple> leaf_rows;
+  for (Value i = 0; i < 12; ++i) leaf_rows.push_back({0, 100 + i});
+  const Relation leaf = MakeRel(&dev, {0, 1}, leaf_rows);  // v0=0 is heavy
+  const Relation n1 = MakeRel(&dev, {0, 2}, {{0, 1}, {0, 2}});
+  const Relation n2 = MakeRel(&dev, {0, 3}, {{0, 7}});
+  const Relation n3 = MakeRel(&dev, {0, 4}, {{0, 9}, {0, 8}});
+  const Relation c1 = MakeRel(&dev, {2, 5}, {{1, 11}, {2, 12}, {2, 13}});
+  const Relation c3 = MakeRel(&dev, {4, 6}, {{9, 21}, {8, 22}});
+  ExpectMatchesReference({leaf, n1, n2, n3, c1, c3});
+}
+
+TEST(EdgeCasesTest, LeafWithSeveralUniqueAttributes) {
+  // Arity-4 leaf: three unique attributes and one join attribute.
+  extmem::Device dev(8, 2);
+  const Relation leaf = MakeRel(
+      &dev, {0, 1, 2, 3},
+      {{1, 2, 3, 5}, {4, 5, 6, 5}, {7, 8, 9, 6}, {1, 1, 1, 7}});
+  const Relation other = MakeRel(&dev, {3, 4}, {{5, 50}, {6, 60}});
+  ExpectMatchesReference({leaf, other});
+}
+
+TEST(EdgeCasesTest, CascadingBuds) {
+  // A bud chain: {v0} next to {v0, v1} whose peel makes {v1} appear as a
+  // restricted bud deeper in the recursion.
+  extmem::Device dev(4, 2);
+  const Relation bud = MakeRel(&dev, {0}, {{1}, {2}});
+  const Relation mid = MakeRel(&dev, {0, 1}, {{1, 10}, {2, 11}, {3, 12}});
+  const Relation tail = MakeRel(&dev, {1, 2}, {{10, 5}, {11, 6}, {12, 7}});
+  ExpectMatchesReference({bud, mid, tail});
+}
+
+TEST(EdgeCasesTest, BudFiltersCorrectlyInsideHeavyRecursion) {
+  // The regression the bud-semijoin fix guards: peel the leaf's heavy
+  // value, the neighbour becomes a logical bud, and its values must
+  // still filter the rest of the query.
+  extmem::Device dev(4, 2);
+  std::vector<storage::Tuple> leaf_rows;
+  for (Value i = 0; i < 10; ++i) leaf_rows.push_back({i, 0});  // heavy v1=0
+  const Relation leaf = MakeRel(&dev, {0, 1}, leaf_rows);
+  // Neighbour: v1=0 maps to w in {5, 6} only.
+  const Relation nbr = MakeRel(&dev, {1, 2}, {{0, 5}, {0, 6}});
+  // Tail has w values 5..9; only 5 and 6 may survive.
+  const Relation tail = MakeRel(
+      &dev, {2, 3}, {{5, 50}, {6, 60}, {7, 70}, {8, 80}, {9, 90}});
+  core::CountingSink sink;
+  AcyclicJoin({leaf, nbr, tail}, sink.AsEmitFn());
+  EXPECT_EQ(sink.count(), 10u * 2u);
+  ExpectMatchesReference({leaf, nbr, tail});
+}
+
+TEST(EdgeCasesTest, AllValuesExactlyAtTheHeavyThreshold) {
+  // Group size == M is heavy by definition (N(e)|v=a >= M).
+  extmem::Device dev(4, 2);
+  std::vector<storage::Tuple> rows;
+  for (Value g = 0; g < 3; ++g) {
+    for (Value i = 0; i < 4; ++i) rows.push_back({g * 10 + i, g});
+  }
+  const Relation r1 = MakeRel(&dev, {0, 1}, rows);
+  const Relation r2 = MakeRel(&dev, {1, 2}, {{0, 5}, {1, 6}, {2, 7}});
+  ExpectMatchesReference({r1, r2});
+}
+
+TEST(EdgeCasesTest, MixedHeavyAndLightInterleaved) {
+  extmem::Device dev(4, 2);
+  std::vector<storage::Tuple> rows;
+  // light(1), heavy(6), light(2), heavy(5), light(1) across sorted order.
+  Value uid = 0;
+  auto add = [&](Value v, int count) {
+    for (int i = 0; i < count; ++i) rows.push_back({uid++, v});
+  };
+  add(1, 1);
+  add(2, 6);
+  add(3, 2);
+  add(4, 5);
+  add(5, 1);
+  const Relation r1 = MakeRel(&dev, {0, 1}, rows);
+  const Relation r2 =
+      MakeRel(&dev, {1, 2}, {{1, 9}, {2, 8}, {3, 7}, {4, 6}, {5, 5}});
+  const Relation r3 = MakeRel(&dev, {2, 3}, {{9, 1}, {8, 2}, {7, 3}, {6, 4},
+                                             {5, 5}});
+  ExpectMatchesReference({r1, r2, r3});
+}
+
+TEST(EdgeCasesTest, RepeatedJoinValuesAcrossAllRelations) {
+  // Dense single-value instance: everything joins with everything.
+  extmem::Device dev(4, 2);
+  std::vector<storage::Tuple> a, b, c;
+  for (Value i = 0; i < 9; ++i) a.push_back({i, 0});
+  for (Value i = 0; i < 7; ++i) b.push_back({0, i});
+  const Relation r1 = MakeRel(&dev, {0, 1}, a);
+  const Relation r2 = MakeRel(&dev, {1, 2}, b);
+  core::CountingSink sink;
+  AcyclicJoin({r1, r2}, sink.AsEmitFn());
+  EXPECT_EQ(sink.count(), 63u);
+}
+
+TEST(EdgeCasesTest, AttributeIdsNeedNotBeDense) {
+  extmem::Device dev(8, 2);
+  const Relation r1 = MakeRel(&dev, {1000, 7}, {{1, 2}, {3, 4}});
+  const Relation r2 = MakeRel(&dev, {7, 424242}, {{2, 99}, {4, 98}});
+  ExpectMatchesReference({r1, r2});
+}
+
+}  // namespace
+}  // namespace emjoin

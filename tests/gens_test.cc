@@ -1,0 +1,243 @@
+#include "gens/gens.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gens/planner.h"
+#include "gens/psi.h"
+#include "tests/test_util.h"
+#include "workload/constructions.h"
+
+namespace emjoin::gens {
+namespace {
+
+bool Contains(const Family& f, const EdgeSet& s) {
+  return std::find(f.begin(), f.end(), s) != f.end();
+}
+
+bool ContainsFamily(const std::vector<Family>& families, const Family& f) {
+  return std::find(families.begin(), families.end(), f) != families.end();
+}
+
+Family AllSubsetsOf3ExceptFull() {
+  return Family{{}, {0}, {0, 1}, {0, 2}, {1}, {1, 2}, {2}};
+}
+
+TEST(GenSTest, L3ReproducesEquationFour) {
+  // §4.4: GenS(L3) generates S = { {e1,e3}, {e2,e3}, {e1,e2}, {e1}, {e2},
+  // {e3}, ∅ } — every subset except the full set — via either one-petal
+  // star peel; and 2^E via the standalone-star one-shot branch.
+  const auto families = GenSFamilies(query::JoinQuery::Line(3));
+  EXPECT_TRUE(ContainsFamily(families, AllSubsetsOf3ExceptFull()));
+
+  // The one-shot standalone-star branch (2^E) only appears in the raw,
+  // unpruned output: it is a superset of eq. (4) and thus never optimal.
+  const auto raw = GenSFamilies(query::JoinQuery::Line(3), false);
+  Family full;
+  for (std::uint32_t mask = 0; mask < 8; ++mask) {
+    EdgeSet s;
+    for (std::uint32_t e = 0; e < 3; ++e) {
+      if (mask & (1u << e)) s.push_back(e);
+    }
+    full.push_back(s);
+  }
+  std::sort(full.begin(), full.end());
+  EXPECT_TRUE(ContainsFamily(raw, full));
+  EXPECT_FALSE(ContainsFamily(families, full));
+}
+
+TEST(GenSTest, EveryL3FamilyContainsTheIndependentPair) {
+  // {e1, e3} drives the optimal L3 bound; every branch must account for it.
+  for (const Family& f : GenSFamilies(query::JoinQuery::Line(3))) {
+    EXPECT_TRUE(Contains(f, {0, 2})) << FamilyToString(f);
+  }
+}
+
+TEST(GenSTest, L4HasBothPeelingFamilies) {
+  // §4.4: peeling {e1,e2} first accounts for {e1,e3,e4}; peeling {e3,e4}
+  // first accounts for {e1,e2,e4}.
+  const auto families = GenSFamilies(query::JoinQuery::Line(4));
+  bool has_134 = false, has_124 = false;
+  for (const Family& f : families) {
+    if (Contains(f, {0, 2, 3}) && !Contains(f, {0, 1, 3})) has_134 = true;
+    if (Contains(f, {0, 1, 3}) && !Contains(f, {0, 2, 3})) has_124 = true;
+  }
+  EXPECT_TRUE(has_134);
+  EXPECT_TRUE(has_124);
+}
+
+TEST(GenSTest, L5FamiliesIncludeThePaperSets) {
+  // §4.4: the better L5 branches account for {e1,e3,e5}, {e2,e5}/{e2,e4},
+  // {e1,e4} but avoid pairing e2,e4 with a 3-subjoin through both.
+  const auto families = GenSFamilies(query::JoinQuery::Line(5));
+  ASSERT_FALSE(families.empty());
+  for (const Family& f : families) {
+    EXPECT_TRUE(Contains(f, {0, 2, 4})) << FamilyToString(f);
+  }
+  // Some branch avoids the expensive {e1,e2,e4,e5}-style subsets entirely
+  // while still covering {e2,e4}.
+  bool good_branch = false;
+  for (const Family& f : families) {
+    if (Contains(f, {1, 3}) && !Contains(f, {0, 1, 2, 3, 4})) {
+      good_branch = true;
+    }
+  }
+  EXPECT_TRUE(good_branch);
+}
+
+TEST(GenSTest, BudsAreDroppedFromFamilies) {
+  // A bud {v} never appears in any generated subset.
+  query::JoinQuery q;
+  q.AddRelation(query::Schema({0, 1}), 10);
+  q.AddRelation(query::Schema({1}), 10);  // bud
+  q.AddRelation(query::Schema({1, 2}), 10);
+  for (const Family& f : GenSFamilies(q)) {
+    for (const EdgeSet& s : f) {
+      EXPECT_TRUE(std::find(s.begin(), s.end(), 1u) == s.end());
+    }
+  }
+}
+
+TEST(GenSTest, StarHasBranchWithoutFullSet) {
+  // §4.4 star discussion: removing all but one petal avoids the full join
+  // (the full set is dominated by the all-petals subset).
+  const auto families = GenSFamilies(query::JoinQuery::Star(3));
+  bool no_full = false;
+  for (const Family& f : families) {
+    if (!Contains(f, {0, 1, 2, 3})) no_full = true;
+  }
+  EXPECT_TRUE(no_full);
+}
+
+TEST(GenSTest, SingleEdgeQuery) {
+  query::JoinQuery q;
+  q.AddRelation(query::Schema({0, 1}), 5);
+  const auto families = GenSFamilies(q);
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_EQ(families[0], (Family{{}, {0}}));
+}
+
+TEST(PruneDominatedTest, DropsDeterminedExtensions) {
+  const query::JoinQuery q = query::JoinQuery::Line(3, {10, 10, 10});
+  // In the 2^E family, {e1,e2,e3} is dominated by {e1,e3} (e2's
+  // attributes are covered, so its tuple is determined).
+  Family f = {{0, 2}, {0, 1, 2}};
+  const Family pruned = PruneDominated(q, f);
+  EXPECT_EQ(pruned, (Family{{0, 2}}));
+}
+
+TEST(PruneDominatedTest, KeepsUndominatedSubsets) {
+  const query::JoinQuery q = query::JoinQuery::Line(3, {10, 10, 10});
+  Family f = {{0}, {0, 1}, {0, 2}};
+  EXPECT_EQ(PruneDominated(q, f), f);
+}
+
+TEST(PsiTest, ExactMatchesHandComputation) {
+  extmem::Device dev(16, 4);
+  // Fig. 3 instance: subjoin on {e1,e3} = n1*n3 (cross product).
+  const auto rels = workload::L3WorstCase(&dev, 20, 1, 30);
+  query::JoinQuery q;
+  for (const auto& r : rels) q.AddRelation(r.schema(), r.size());
+  const long double psi13 = PsiExact(q, rels, {0, 2}, 16, 4);
+  EXPECT_NEAR(static_cast<double>(psi13), 20.0 * 30.0 / (16 * 4), 1e-9);
+  // |S| = 1: just a scan term N/B.
+  EXPECT_NEAR(static_cast<double>(PsiExact(q, rels, {0}, 16, 4)), 20.0 / 4,
+              1e-9);
+  EXPECT_EQ(PsiExact(q, rels, {}, 16, 4), 0.0L);
+}
+
+TEST(PsiTest, WorstCaseUsesAgmPerComponent) {
+  const query::JoinQuery q = query::JoinQuery::Line(3, {10, 20, 30});
+  // {e1,e3}: two singleton components -> 10*30 / (M B).
+  EXPECT_NEAR(static_cast<double>(PsiWorstCase(q, {0, 2}, 8, 2)),
+              10.0 * 30.0 / 16, 1e-9);
+  // {e1,e2}: connected, AGM = 10*20 (both have unique attrs).
+  EXPECT_NEAR(static_cast<double>(PsiWorstCase(q, {0, 1}, 8, 2)),
+              10.0 * 20.0 / 16, 1e-9);
+}
+
+TEST(PsiTest, PredictBoundWorstCaseOnL3) {
+  // The Theorem 3 worst-case bound for L3 is N1*N3/(MB) + ΣN/B.
+  const query::JoinQuery q = query::JoinQuery::Line(3, {100, 100, 100});
+  const BoundReport report = PredictBoundWorstCase(q, 16, 4);
+  EXPECT_NEAR(static_cast<double>(report.max_psi), 100.0 * 100.0 / 64, 1e-6);
+  EXPECT_NEAR(static_cast<double>(report.linear_term), 300.0 / 4, 1e-9);
+}
+
+TEST(PsiTest, PredictBoundWorstCaseL4PicksCheaperPeeling) {
+  // §4.4: worst case min( N1N3N4, N1N2N4 ) / (M^2 B).
+  const query::JoinQuery q = query::JoinQuery::Line(4, {10, 50, 20, 10});
+  const BoundReport report = PredictBoundWorstCase(q, 4, 2);
+  const double expected = 10.0 * 20.0 * 10.0 / (4.0 * 4.0 * 2.0);
+  EXPECT_NEAR(static_cast<double>(report.max_psi), expected, 1e-6);
+}
+
+TEST(PsiTest, Theorem3BoundNeverExceedsTheorem2Bound) {
+  // Theorem 3 refines Theorem 2 by restricting the subset families via
+  // GenS; on every instance min-max over families <= max over all
+  // subsets.
+  extmem::Device dev(16, 4);
+  const auto rels = workload::L3WorstCase(&dev, 24, 1, 24);
+  query::JoinQuery q;
+  for (const auto& r : rels) q.AddRelation(r.schema(), r.size());
+  const BoundReport t3 = PredictBoundExact(q, rels, 16, 4);
+  const long double t2 = Theorem2BoundExact(q, rels, 16, 4);
+  EXPECT_LE(static_cast<double>(t3.bound), static_cast<double>(t2) + 1e-9);
+}
+
+TEST(PsiTest, Theorem2GapAppearsOnStars) {
+  // On a star, Theorem 2 includes the full join subset {core, petals},
+  // which Theorem 3's families avoid (§4.2's observation). With a core
+  // much larger than the petal product the gap is strict.
+  extmem::Device dev(4, 2);
+  const auto rels = workload::StarWorstCase(&dev, {6, 6});
+  query::JoinQuery q;
+  for (const auto& r : rels) q.AddRelation(r.schema(), r.size());
+  const BoundReport t3 = PredictBoundExact(q, rels, 4, 2);
+  const long double t2 = Theorem2BoundExact(q, rels, 4, 2);
+  EXPECT_LE(static_cast<double>(t3.max_psi), static_cast<double>(t2));
+}
+
+TEST(PlannerTest, WorstCaseBoundsOfL4PeelingsAgreeUnderTheLp) {
+  // Under the cross-product worst-case model, the two L4 peel orders have
+  // identical bounds (both LPs range over the same attributes and
+  // constraints); the distinction only appears on concrete instances.
+  const query::JoinQuery q = query::JoinQuery::Line(4, {10, 50, 20, 10});
+  const long double via_e1 = BoundIfPeeledFirst(q, 0, 4, 2);
+  const long double via_e4 = BoundIfPeeledFirst(q, 3, 4, 2);
+  EXPECT_NEAR(static_cast<double>(via_e1), static_cast<double>(via_e4), 1e-6);
+  EXPECT_NEAR(static_cast<double>(via_e1), 2000.0 / 32, 1e-6);
+}
+
+TEST(PlannerTest, ExactChooserRespondsToSkew) {
+  // All 50 R2-tuples share one v2 value: the subjoin R1 ⋈ R2 is large, so
+  // the branch that pairs e2 with e4 (peel e4 first) is expensive and the
+  // exact chooser must peel e1 first — the paper's compare-N2-N3 effect.
+  extmem::Device dev(4, 2);
+  std::vector<storage::Tuple> e1_rows, e2_rows, e3_rows, e4_rows;
+  for (Value i = 0; i < 10; ++i) e1_rows.push_back({i, 0});
+  for (Value j = 0; j < 50; ++j) e2_rows.push_back({0, j});
+  for (Value j = 0; j < 50; ++j) e3_rows.push_back({j, j});
+  for (Value j = 0; j < 50; ++j) e4_rows.push_back({j, j});
+  const std::vector<storage::Relation> rels = {
+      test::MakeRel(&dev, {0, 1}, e1_rows), test::MakeRel(&dev, {1, 2}, e2_rows),
+      test::MakeRel(&dev, {2, 3}, e3_rows), test::MakeRel(&dev, {3, 4}, e4_rows)};
+  query::JoinQuery q;
+  for (const auto& r : rels) q.AddRelation(r.schema(), r.size());
+
+  const long double via_e1 = BoundIfPeeledFirstExact(q, rels, 0, 4, 2);
+  const long double via_e4 = BoundIfPeeledFirstExact(q, rels, 3, 4, 2);
+  EXPECT_LT(via_e1, via_e4);
+
+  const LeafChooser chooser = ExactCostGuidedChooser(4, 2);
+  EXPECT_EQ(chooser(q, rels, {0, 3}), 0u);
+}
+
+TEST(PlannerTest, FirstLeafChooserPicksIndexZero) {
+  const query::JoinQuery q = query::JoinQuery::Line(4, {1, 1, 1, 1});
+  EXPECT_EQ(FirstLeafChooser()(q, {}, {2, 3}), 0u);
+}
+
+}  // namespace
+}  // namespace emjoin::gens

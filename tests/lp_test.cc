@@ -1,0 +1,85 @@
+#include "gens/lp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace emjoin::gens {
+namespace {
+
+TEST(SimplexTest, UnconstrainedVariablePinnedByConstraint) {
+  // max y s.t. y <= 5.
+  EXPECT_NEAR(static_cast<double>(SolveLpMax({{1}}, {5}, {1})), 5.0, 1e-9);
+}
+
+TEST(SimplexTest, TwoVariables) {
+  // max x + y s.t. x + y <= 4, x <= 3, y <= 3 -> 4.
+  const long double v =
+      SolveLpMax({{1, 1}, {1, 0}, {0, 1}}, {4, 3, 3}, {1, 1});
+  EXPECT_NEAR(static_cast<double>(v), 4.0, 1e-9);
+}
+
+TEST(SimplexTest, ObjectiveIgnoresUnrewardedVariables) {
+  // max x s.t. x + y <= 2, y free to be 0 -> 2.
+  const long double v = SolveLpMax({{1, 1}}, {2}, {1, 0});
+  EXPECT_NEAR(static_cast<double>(v), 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateZeroRhs) {
+  // max x s.t. x <= 0 -> 0 (Bland's rule must not cycle).
+  EXPECT_NEAR(static_cast<double>(SolveLpMax({{1}}, {0}, {1})), 0.0, 1e-9);
+}
+
+TEST(MaxCrossProductSubjoinTest, SingleRelationIsItsSize) {
+  const query::JoinQuery q = query::JoinQuery::Line(2, {12, 20});
+  EXPECT_NEAR(static_cast<double>(MaxCrossProductSubjoin(q, {0})), 12.0,
+              1e-6);
+}
+
+TEST(MaxCrossProductSubjoinTest, IndependentPairMultiplies) {
+  const query::JoinQuery q = query::JoinQuery::Line(3, {10, 1000, 30});
+  EXPECT_NEAR(static_cast<double>(MaxCrossProductSubjoin(q, {0, 2})), 300.0,
+              1e-6);
+}
+
+TEST(MaxCrossProductSubjoinTest, NeighborSizesConstrainConnectedSubjoins) {
+  // L4 {10, 50, 20, 10}: the subjoin {e2, e3} is capped below AGM
+  // (= 1000) by the reduction constraints of e1 and e4 (see §4.4's
+  // "dominated" discussion): z2 <= 10, z4 <= 10, z2*z3 <= 50, z3*z4 <= 20
+  // -> max z2*z3*z4 = 200.
+  const query::JoinQuery q = query::JoinQuery::Line(4, {10, 50, 20, 10});
+  EXPECT_NEAR(static_cast<double>(MaxCrossProductSubjoin(q, {1, 2})), 200.0,
+              1e-6);
+}
+
+TEST(MaxCrossProductSubjoinTest, FullLineJoinMatchesAlternatingProduct) {
+  // Balanced L5, all sizes N: the full join reaches N^3 via the
+  // alternating construction (Theorem 5).
+  const query::JoinQuery q =
+      query::JoinQuery::Line(5, {64, 64, 64, 64, 64});
+  EXPECT_NEAR(static_cast<double>(
+                  MaxCrossProductSubjoin(q, {0, 1, 2, 3, 4})),
+              64.0 * 64 * 64, 1.0);
+}
+
+TEST(MaxCrossProductSubjoinTest, EmptyRelationKillsEverySubjoin) {
+  query::JoinQuery q = query::JoinQuery::Line(3, {10, 10, 10});
+  q.set_size(1, 0);
+  EXPECT_EQ(static_cast<double>(MaxCrossProductSubjoin(q, {0, 2})), 0.0);
+}
+
+TEST(MaxCrossProductSubjoinTest, EmptySubsetIsOne) {
+  const query::JoinQuery q = query::JoinQuery::Line(2, {5, 5});
+  EXPECT_NEAR(static_cast<double>(MaxCrossProductSubjoin(q, {})), 1.0, 1e-9);
+}
+
+TEST(MaxCrossProductSubjoinTest, StarPetalsReachProduct) {
+  // Star with unit core: the petal subjoin reaches the petal product
+  // (Theorem 4's construction is a cross-product instance).
+  const query::JoinQuery q = query::JoinQuery::Star(3, {1, 8, 16, 32});
+  EXPECT_NEAR(static_cast<double>(MaxCrossProductSubjoin(q, {1, 2, 3})),
+              8.0 * 16 * 32, 1e-3);
+}
+
+}  // namespace
+}  // namespace emjoin::gens

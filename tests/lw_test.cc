@@ -1,0 +1,96 @@
+#include "core/lw.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/reference.h"
+#include "tests/test_util.h"
+
+namespace emjoin::core {
+namespace {
+
+using storage::Relation;
+using test::MakeRel;
+
+// Random LW_n instance over a shared domain.
+std::vector<Relation> RandomLW(extmem::Device* dev, std::size_t n,
+                               TupleCount tuples, TupleCount dom,
+                               std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Relation> rels;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<storage::AttrId> attrs;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) attrs.push_back(static_cast<storage::AttrId>(j));
+    }
+    std::vector<storage::Tuple> rows;
+    for (TupleCount t = 0; t < tuples; ++t) {
+      storage::Tuple row;
+      for (std::size_t j = 0; j + 1 < n; ++j) row.push_back(rng() % dom);
+      rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    rels.push_back(MakeRel(dev, attrs, rows));
+  }
+  return rels;
+}
+
+TEST(LoomisWhitneyTest, DetectsLwShape) {
+  extmem::Device dev(16, 4);
+  const auto lw3 = RandomLW(&dev, 3, 10, 4, 1);
+  EXPECT_TRUE(IsLoomisWhitney(lw3));
+  const auto lw4 = RandomLW(&dev, 4, 10, 3, 2);
+  EXPECT_TRUE(IsLoomisWhitney(lw4));
+  // A line join is not LW.
+  const Relation a = MakeRel(&dev, {0, 1}, {{1, 2}});
+  const Relation b = MakeRel(&dev, {1, 2}, {{2, 3}});
+  const Relation c = MakeRel(&dev, {2, 3}, {{3, 4}});
+  EXPECT_FALSE(IsLoomisWhitney({a, b, c}));
+}
+
+TEST(LoomisWhitneyTest, Lw3TinyInstance) {
+  extmem::Device dev(16, 4);
+  const Relation r1 = MakeRel(&dev, {1, 2}, {{2, 7}, {3, 9}});
+  const Relation r2 = MakeRel(&dev, {0, 2}, {{1, 7}});
+  const Relation r3 = MakeRel(&dev, {0, 1}, {{1, 2}, {1, 3}});
+  // Results: (v0,v1,v2) = (1,2,7); (1,3,9) fails r2.
+  CollectingSink sink;
+  LoomisWhitneyJoin({r1, r2, r3}, sink.AsEmitFn());
+  EXPECT_EQ(test::Sorted(std::move(sink.results())),
+            ReferenceJoin({r1, r2, r3}));
+}
+
+class LwRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(LwRandomTest, MatchesReference) {
+  const auto [n, tuples, dom, seed] = GetParam();
+  extmem::Device dev(16, 4);
+  const auto rels =
+      RandomLW(&dev, static_cast<std::size_t>(n), tuples, dom, seed);
+  CollectingSink sink;
+  LoomisWhitneyJoin(rels, sink.AsEmitFn());
+  EXPECT_EQ(test::Sorted(std::move(sink.results())), ReferenceJoin(rels));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LwRandomTest,
+    ::testing::Values(std::make_tuple(3, 40, 6, 1),
+                      std::make_tuple(3, 80, 8, 2),
+                      std::make_tuple(4, 40, 4, 3),
+                      std::make_tuple(4, 80, 5, 4),
+                      std::make_tuple(5, 40, 3, 5),
+                      std::make_tuple(3, 100, 4, 6)));
+
+TEST(LoomisWhitneyTest, DenseLw4) {
+  extmem::Device dev(8, 2);
+  const auto rels = RandomLW(&dev, 4, 30, 3, 9);
+  CollectingSink sink;
+  LoomisWhitneyJoin(rels, sink.AsEmitFn());
+  EXPECT_EQ(test::Sorted(std::move(sink.results())), ReferenceJoin(rels));
+}
+
+}  // namespace
+}  // namespace emjoin::core

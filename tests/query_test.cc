@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "query/classify.h"
+#include "query/edge_cover.h"
+#include "query/hypergraph.h"
+#include "query/join_tree.h"
+
+namespace emjoin::query {
+namespace {
+
+TEST(HypergraphTest, LineFactoryShape) {
+  const JoinQuery q = JoinQuery::Line(4, {10, 20, 30, 40});
+  EXPECT_EQ(q.num_edges(), 4u);
+  EXPECT_EQ(q.edge(1), Schema({1, 2}));
+  EXPECT_EQ(q.size(2), 30u);
+  EXPECT_EQ(q.attrs().size(), 5u);
+}
+
+TEST(HypergraphTest, StarFactoryShape) {
+  const JoinQuery q = JoinQuery::Star(3);
+  EXPECT_EQ(q.num_edges(), 4u);
+  EXPECT_EQ(q.edge(0), Schema({0, 1, 2}));
+  EXPECT_EQ(q.edge(2), Schema({1, 4}));
+}
+
+TEST(HypergraphTest, BergeAcyclicity) {
+  EXPECT_TRUE(JoinQuery::Line(5).IsBergeAcyclic());
+  EXPECT_TRUE(JoinQuery::Star(4).IsBergeAcyclic());
+
+  // Triangle: cyclic.
+  JoinQuery tri;
+  tri.AddRelation(Schema({0, 1}));
+  tri.AddRelation(Schema({1, 2}));
+  tri.AddRelation(Schema({0, 2}));
+  EXPECT_FALSE(tri.IsBergeAcyclic());
+
+  // Two relations sharing two attributes: Berge-cyclic (§1.3).
+  JoinQuery two;
+  two.AddRelation(Schema({0, 1, 2}));
+  two.AddRelation(Schema({1, 2}));
+  EXPECT_FALSE(two.IsBergeAcyclic());
+
+  // alpha-acyclic but Berge-cyclic: R(a,b,c) with pairwise edges.
+  JoinQuery alpha;
+  alpha.AddRelation(Schema({0, 1, 2}));
+  alpha.AddRelation(Schema({0, 1}));
+  EXPECT_FALSE(alpha.IsBergeAcyclic());
+}
+
+TEST(HypergraphTest, ConnectivityAndComponents) {
+  JoinQuery q;
+  q.AddRelation(Schema({0, 1}));
+  q.AddRelation(Schema({1, 2}));
+  q.AddRelation(Schema({5, 6}));
+  EXPECT_FALSE(q.IsConnected());
+  const auto comps = q.ConnectedComponents({0, 1, 2});
+  EXPECT_EQ(comps.size(), 2u);
+  EXPECT_EQ(q.ConnectedComponents({0, 2}).size(), 2u);
+  EXPECT_EQ(q.ConnectedComponents({0, 1}).size(), 1u);
+}
+
+TEST(HypergraphTest, WithoutEdgeAndAttrs) {
+  const JoinQuery q = JoinQuery::Line(3, {1, 2, 3});
+  const JoinQuery q2 = q.WithoutEdge(1);
+  EXPECT_EQ(q2.num_edges(), 2u);
+  EXPECT_EQ(q2.size(1), 3u);
+
+  const JoinQuery q3 = q.WithoutAttrs({1, 2});
+  // e1 = {0}, e2 dropped (empty), e3 = {2,3} -> {3} wait: attrs 1,2 removed.
+  EXPECT_EQ(q3.num_edges(), 2u);
+  EXPECT_EQ(q3.edge(0), Schema({0}));
+  EXPECT_EQ(q3.edge(1), Schema({3}));
+}
+
+TEST(ClassifyTest, LineRoles) {
+  const JoinQuery q = JoinQuery::Line(3);
+  EXPECT_EQ(ClassifyEdge(q, 0), EdgeKind::kLeaf);
+  EXPECT_EQ(ClassifyEdge(q, 1), EdgeKind::kInternal);
+  EXPECT_EQ(ClassifyEdge(q, 2), EdgeKind::kLeaf);
+  const LeafInfo info = DescribeLeaf(q, 0);
+  EXPECT_EQ(info.join_attr, 1u);
+  EXPECT_EQ(info.unique_attrs, (std::vector<AttrId>{0}));
+  EXPECT_EQ(info.neighbors, (std::vector<EdgeId>{1}));
+}
+
+TEST(ClassifyTest, IslandsAndBuds) {
+  JoinQuery q;
+  q.AddRelation(Schema({0, 1}));  // island (nothing shared)
+  q.AddRelation(Schema({2}));     // bud with the next edge
+  q.AddRelation(Schema({2, 3}));  // leaf
+  EXPECT_EQ(ClassifyEdge(q, 0), EdgeKind::kIsland);
+  EXPECT_EQ(ClassifyEdge(q, 1), EdgeKind::kBud);
+  EXPECT_EQ(ClassifyEdge(q, 2), EdgeKind::kLeaf);
+  EXPECT_EQ(EdgesOfKind(q, EdgeKind::kBud), (std::vector<EdgeId>{1}));
+}
+
+TEST(ClassifyTest, StarDetectionOnL3) {
+  // L3's middle edge is the core of stars {e1,e2}, {e2,e3}, and the
+  // standalone 2-petal star (§4.4).
+  const JoinQuery q = JoinQuery::Line(3);
+  const std::vector<Star> stars = FindStars(q);
+  ASSERT_FALSE(stars.empty());
+  int one_petal = 0, two_petal = 0;
+  for (const Star& s : stars) {
+    EXPECT_EQ(s.core, 1u);
+    if (s.petals.size() == 1) ++one_petal;
+    if (s.petals.size() == 2) ++two_petal;
+  }
+  EXPECT_EQ(one_petal, 2);
+  EXPECT_EQ(two_petal, 1);
+}
+
+TEST(ClassifyTest, StarDetectionOnStandaloneStar) {
+  const JoinQuery q = JoinQuery::Star(3);
+  const std::vector<Star> stars = FindStars(q);
+  bool found_full = false;
+  for (const Star& s : stars) {
+    if (s.core == 0 && s.petals.size() == 3 && !s.outward_attr.has_value()) {
+      found_full = true;
+    }
+  }
+  EXPECT_TRUE(found_full);
+}
+
+TEST(ClassifyTest, NoStarInLine2) {
+  // L2: two leaves, no edge without unique attributes.
+  EXPECT_TRUE(FindStars(JoinQuery::Line(2)).empty());
+}
+
+TEST(EdgeCoverTest, OptimalCoverIsIntegralAndMinimal) {
+  // L3 with N = (10, 1000, 10): optimal cover {e1, e3} (x2 = 0).
+  const JoinQuery q = JoinQuery::Line(3, {10, 1000, 10});
+  const EdgeCover cover = OptimalEdgeCover(q);
+  EXPECT_EQ(cover.edges, (std::vector<EdgeId>{0, 2}));
+  EXPECT_NEAR(static_cast<double>(cover.product), 100.0, 1e-6);
+  EXPECT_NEAR(static_cast<double>(AgmBound(q)), 100.0, 1e-6);
+}
+
+TEST(EdgeCoverTest, L4CoverDependsOnSizes) {
+  // (1,0,1,1) vs (1,1,0,1) depending on N2 vs N3.
+  const EdgeCover a = OptimalEdgeCover(JoinQuery::Line(4, {10, 10, 99, 10}));
+  EXPECT_EQ(a.edges, (std::vector<EdgeId>{0, 1, 3}));
+  const EdgeCover b = OptimalEdgeCover(JoinQuery::Line(4, {10, 99, 10, 10}));
+  EXPECT_EQ(b.edges, (std::vector<EdgeId>{0, 2, 3}));
+}
+
+TEST(EdgeCoverTest, StarCoverIsPetals) {
+  // Star with small petals: covering with petals beats using the core
+  // (the core has no unique attributes, so the petals are forced anyway).
+  const JoinQuery q = JoinQuery::Star(3, {100, 5, 5, 5});
+  const EdgeCover cover = OptimalEdgeCover(q);
+  EXPECT_EQ(cover.edges, (std::vector<EdgeId>{1, 2, 3}));
+}
+
+TEST(EdgeCoverTest, GreedyMinEdgeCoverOnLines) {
+  // Minimum edge cover of L_n has ceil(n+1 attrs / ...) = the alternating
+  // pattern: L3 -> {e1, e3}; L5 -> {e1, e3, e5}; L4 -> 3 edges.
+  EXPECT_EQ(GreedyMinEdgeCover(JoinQuery::Line(3)).size(), 2u);
+  EXPECT_EQ(GreedyMinEdgeCover(JoinQuery::Line(5)).size(), 3u);
+  EXPECT_EQ(GreedyMinEdgeCover(JoinQuery::Line(4)).size(), 3u);
+  EXPECT_EQ(GreedyMinEdgeCover(JoinQuery::Star(3)).size(), 3u);
+}
+
+TEST(EdgeCoverTest, IsEdgeCover) {
+  const JoinQuery q = JoinQuery::Line(3);
+  EXPECT_TRUE(IsEdgeCover(q, {0, 2}));
+  EXPECT_FALSE(IsEdgeCover(q, {0, 1}));
+  EXPECT_TRUE(IsEdgeCover(q, {0, 1, 2}));
+}
+
+TEST(JoinTreeTest, LineTreeIsAPath) {
+  const JoinQuery q = JoinQuery::Line(4);
+  const JoinTree tree = BuildJoinTree(q);
+  EXPECT_EQ(tree.roots.size(), 1u);
+  EXPECT_EQ(tree.bottom_up.size(), 4u);
+  // Each non-root's parent shares exactly the line attribute.
+  for (EdgeId e = 0; e < 4; ++e) {
+    if (tree.parent[e] >= 0) {
+      const Schema& a = q.edge(e);
+      const Schema& b = q.edge(static_cast<EdgeId>(tree.parent[e]));
+      EXPECT_EQ(a.CommonAttrs(b).size(), 1u);
+      EXPECT_EQ(a.CommonAttrs(b).front(), tree.parent_attr[e]);
+    }
+  }
+}
+
+TEST(JoinTreeTest, DisconnectedQueryYieldsForest) {
+  JoinQuery q;
+  q.AddRelation(Schema({0, 1}));
+  q.AddRelation(Schema({2, 3}));
+  const JoinTree tree = BuildJoinTree(q);
+  EXPECT_EQ(tree.roots.size(), 2u);
+}
+
+TEST(JoinTreeTest, BottomUpOrderPutsChildrenFirst) {
+  const JoinQuery q = JoinQuery::Star(3);
+  const JoinTree tree = BuildJoinTree(q);
+  std::vector<bool> seen(q.num_edges(), false);
+  for (EdgeId e : tree.bottom_up) {
+    for (EdgeId c : tree.children[e]) EXPECT_TRUE(seen[c]);
+    seen[e] = true;
+  }
+}
+
+}  // namespace
+}  // namespace emjoin::query

@@ -1,0 +1,55 @@
+#ifndef EMJOIN_TESTS_TEST_UTIL_H_
+#define EMJOIN_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/emit.h"
+#include "core/reference.h"
+#include "storage/relation.h"
+
+namespace emjoin::test {
+
+/// Builds a relation over `attrs` from explicit rows.
+inline storage::Relation MakeRel(extmem::Device* dev,
+                                 std::vector<storage::AttrId> attrs,
+                                 std::vector<storage::Tuple> rows) {
+  return storage::Relation::FromTuples(dev, storage::Schema(std::move(attrs)),
+                                       rows);
+}
+
+/// Sorted result rows from a collecting sink.
+inline std::vector<std::vector<Value>> Sorted(
+    std::vector<std::vector<Value>> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Runs `algo(emit)` and returns the sorted collected results.
+template <typename Algo>
+std::vector<std::vector<Value>> CollectSorted(Algo&& algo) {
+  core::CollectingSink sink;
+  algo(sink.AsEmitFn());
+  return Sorted(std::move(sink.results()));
+}
+
+/// Reorders each reference row from `from` attribute order to `to` order.
+inline std::vector<std::vector<Value>> Reorder(
+    const std::vector<std::vector<Value>>& rows,
+    const core::ResultSchema& from, const core::ResultSchema& to) {
+  std::vector<std::vector<Value>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<Value> r;
+    r.reserve(to.attrs.size());
+    for (storage::AttrId a : to.attrs) r.push_back(row[from.PositionOf(a)]);
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace emjoin::test
+
+#endif  // EMJOIN_TESTS_TEST_UTIL_H_
