@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dumbbell.dir/bench_dumbbell.cc.o"
+  "CMakeFiles/bench_dumbbell.dir/bench_dumbbell.cc.o.d"
+  "bench_dumbbell"
+  "bench_dumbbell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dumbbell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exhaustive_roundrobin.dir/bench_exhaustive_roundrobin.cc.o"
+  "CMakeFiles/bench_exhaustive_roundrobin.dir/bench_exhaustive_roundrobin.cc.o.d"
+  "bench_exhaustive_roundrobin"
+  "bench_exhaustive_roundrobin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exhaustive_roundrobin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

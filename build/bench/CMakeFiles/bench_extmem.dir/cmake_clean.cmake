@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extmem.dir/bench_extmem.cc.o"
+  "CMakeFiles/bench_extmem.dir/bench_extmem.cc.o.d"
+  "bench_extmem"
+  "bench_extmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

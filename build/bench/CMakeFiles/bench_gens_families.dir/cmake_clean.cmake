@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gens_families.dir/bench_gens_families.cc.o"
+  "CMakeFiles/bench_gens_families.dir/bench_gens_families.cc.o.d"
+  "bench_gens_families"
+  "bench_gens_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gens_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

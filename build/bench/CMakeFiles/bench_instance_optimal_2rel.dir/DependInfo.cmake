@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_instance_optimal_2rel.cc" "bench/CMakeFiles/bench_instance_optimal_2rel.dir/bench_instance_optimal_2rel.cc.o" "gcc" "bench/CMakeFiles/bench_instance_optimal_2rel.dir/bench_instance_optimal_2rel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emjoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_gens.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_counting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_extmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

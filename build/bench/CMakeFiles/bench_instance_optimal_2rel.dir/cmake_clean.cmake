@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instance_optimal_2rel.dir/bench_instance_optimal_2rel.cc.o"
+  "CMakeFiles/bench_instance_optimal_2rel.dir/bench_instance_optimal_2rel.cc.o.d"
+  "bench_instance_optimal_2rel"
+  "bench_instance_optimal_2rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instance_optimal_2rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

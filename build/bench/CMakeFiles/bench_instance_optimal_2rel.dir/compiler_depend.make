@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_instance_optimal_2rel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_line5_unbalanced.dir/bench_line5_unbalanced.cc.o"
+  "CMakeFiles/bench_line5_unbalanced.dir/bench_line5_unbalanced.cc.o.d"
+  "bench_line5_unbalanced"
+  "bench_line5_unbalanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_line5_unbalanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lollipop.dir/bench_lollipop.cc.o"
+  "CMakeFiles/bench_lollipop.dir/bench_lollipop.cc.o.d"
+  "bench_lollipop"
+  "bench_lollipop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lollipop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

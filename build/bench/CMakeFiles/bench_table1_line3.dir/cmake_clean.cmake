@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_line3.dir/bench_table1_line3.cc.o"
+  "CMakeFiles/bench_table1_line3.dir/bench_table1_line3.cc.o.d"
+  "bench_table1_line3"
+  "bench_table1_line3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_line3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_line4_peeling.dir/bench_table1_line4_peeling.cc.o"
+  "CMakeFiles/bench_table1_line4_peeling.dir/bench_table1_line4_peeling.cc.o.d"
+  "bench_table1_line4_peeling"
+  "bench_table1_line4_peeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_line4_peeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

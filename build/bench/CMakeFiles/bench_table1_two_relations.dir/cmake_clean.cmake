@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_two_relations.dir/bench_table1_two_relations.cc.o"
+  "CMakeFiles/bench_table1_two_relations.dir/bench_table1_two_relations.cc.o.d"
+  "bench_table1_two_relations"
+  "bench_table1_two_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_two_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_triangle_lw.dir/bench_triangle_lw.cc.o"
+  "CMakeFiles/bench_triangle_lw.dir/bench_triangle_lw.cc.o.d"
+  "bench_triangle_lw"
+  "bench_triangle_lw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_triangle_lw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yannakakis_gap.dir/bench_yannakakis_gap.cc.o"
+  "CMakeFiles/bench_yannakakis_gap.dir/bench_yannakakis_gap.cc.o.d"
+  "bench_yannakakis_gap"
+  "bench_yannakakis_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yannakakis_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

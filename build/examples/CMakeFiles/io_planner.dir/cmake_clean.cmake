@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_planner.dir/io_planner.cc.o"
+  "CMakeFiles/io_planner.dir/io_planner.cc.o.d"
+  "io_planner"
+  "io_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/memory_hierarchy_tour.cc" "examples/CMakeFiles/memory_hierarchy_tour.dir/memory_hierarchy_tour.cc.o" "gcc" "examples/CMakeFiles/memory_hierarchy_tour.dir/memory_hierarchy_tour.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emjoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_gens.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_counting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_extmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_hierarchy_tour.dir/memory_hierarchy_tour.cc.o"
+  "CMakeFiles/memory_hierarchy_tour.dir/memory_hierarchy_tour.cc.o.d"
+  "memory_hierarchy_tour"
+  "memory_hierarchy_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_hierarchy_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supply_chain_paths.dir/supply_chain_paths.cc.o"
+  "CMakeFiles/supply_chain_paths.dir/supply_chain_paths.cc.o.d"
+  "supply_chain_paths"
+  "supply_chain_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supply_chain_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

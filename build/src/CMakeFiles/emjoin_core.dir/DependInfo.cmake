@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acyclic_join.cc" "src/CMakeFiles/emjoin_core.dir/core/acyclic_join.cc.o" "gcc" "src/CMakeFiles/emjoin_core.dir/core/acyclic_join.cc.o.d"
+  "/root/repo/src/core/dispatch.cc" "src/CMakeFiles/emjoin_core.dir/core/dispatch.cc.o" "gcc" "src/CMakeFiles/emjoin_core.dir/core/dispatch.cc.o.d"
+  "/root/repo/src/core/emit.cc" "src/CMakeFiles/emjoin_core.dir/core/emit.cc.o" "gcc" "src/CMakeFiles/emjoin_core.dir/core/emit.cc.o.d"
+  "/root/repo/src/core/exhaustive.cc" "src/CMakeFiles/emjoin_core.dir/core/exhaustive.cc.o" "gcc" "src/CMakeFiles/emjoin_core.dir/core/exhaustive.cc.o.d"
+  "/root/repo/src/core/line3.cc" "src/CMakeFiles/emjoin_core.dir/core/line3.cc.o" "gcc" "src/CMakeFiles/emjoin_core.dir/core/line3.cc.o.d"
+  "/root/repo/src/core/lw.cc" "src/CMakeFiles/emjoin_core.dir/core/lw.cc.o" "gcc" "src/CMakeFiles/emjoin_core.dir/core/lw.cc.o.d"
+  "/root/repo/src/core/pairwise.cc" "src/CMakeFiles/emjoin_core.dir/core/pairwise.cc.o" "gcc" "src/CMakeFiles/emjoin_core.dir/core/pairwise.cc.o.d"
+  "/root/repo/src/core/reduce.cc" "src/CMakeFiles/emjoin_core.dir/core/reduce.cc.o" "gcc" "src/CMakeFiles/emjoin_core.dir/core/reduce.cc.o.d"
+  "/root/repo/src/core/reference.cc" "src/CMakeFiles/emjoin_core.dir/core/reference.cc.o" "gcc" "src/CMakeFiles/emjoin_core.dir/core/reference.cc.o.d"
+  "/root/repo/src/core/triangle.cc" "src/CMakeFiles/emjoin_core.dir/core/triangle.cc.o" "gcc" "src/CMakeFiles/emjoin_core.dir/core/triangle.cc.o.d"
+  "/root/repo/src/core/unbalanced5.cc" "src/CMakeFiles/emjoin_core.dir/core/unbalanced5.cc.o" "gcc" "src/CMakeFiles/emjoin_core.dir/core/unbalanced5.cc.o.d"
+  "/root/repo/src/core/unbalanced7.cc" "src/CMakeFiles/emjoin_core.dir/core/unbalanced7.cc.o" "gcc" "src/CMakeFiles/emjoin_core.dir/core/unbalanced7.cc.o.d"
+  "/root/repo/src/core/yannakakis.cc" "src/CMakeFiles/emjoin_core.dir/core/yannakakis.cc.o" "gcc" "src/CMakeFiles/emjoin_core.dir/core/yannakakis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emjoin_gens.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_counting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_extmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

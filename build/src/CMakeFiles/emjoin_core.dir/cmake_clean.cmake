@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emjoin_core.dir/core/acyclic_join.cc.o"
+  "CMakeFiles/emjoin_core.dir/core/acyclic_join.cc.o.d"
+  "CMakeFiles/emjoin_core.dir/core/dispatch.cc.o"
+  "CMakeFiles/emjoin_core.dir/core/dispatch.cc.o.d"
+  "CMakeFiles/emjoin_core.dir/core/emit.cc.o"
+  "CMakeFiles/emjoin_core.dir/core/emit.cc.o.d"
+  "CMakeFiles/emjoin_core.dir/core/exhaustive.cc.o"
+  "CMakeFiles/emjoin_core.dir/core/exhaustive.cc.o.d"
+  "CMakeFiles/emjoin_core.dir/core/line3.cc.o"
+  "CMakeFiles/emjoin_core.dir/core/line3.cc.o.d"
+  "CMakeFiles/emjoin_core.dir/core/lw.cc.o"
+  "CMakeFiles/emjoin_core.dir/core/lw.cc.o.d"
+  "CMakeFiles/emjoin_core.dir/core/pairwise.cc.o"
+  "CMakeFiles/emjoin_core.dir/core/pairwise.cc.o.d"
+  "CMakeFiles/emjoin_core.dir/core/reduce.cc.o"
+  "CMakeFiles/emjoin_core.dir/core/reduce.cc.o.d"
+  "CMakeFiles/emjoin_core.dir/core/reference.cc.o"
+  "CMakeFiles/emjoin_core.dir/core/reference.cc.o.d"
+  "CMakeFiles/emjoin_core.dir/core/triangle.cc.o"
+  "CMakeFiles/emjoin_core.dir/core/triangle.cc.o.d"
+  "CMakeFiles/emjoin_core.dir/core/unbalanced5.cc.o"
+  "CMakeFiles/emjoin_core.dir/core/unbalanced5.cc.o.d"
+  "CMakeFiles/emjoin_core.dir/core/unbalanced7.cc.o"
+  "CMakeFiles/emjoin_core.dir/core/unbalanced7.cc.o.d"
+  "CMakeFiles/emjoin_core.dir/core/yannakakis.cc.o"
+  "CMakeFiles/emjoin_core.dir/core/yannakakis.cc.o.d"
+  "libemjoin_core.a"
+  "libemjoin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emjoin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

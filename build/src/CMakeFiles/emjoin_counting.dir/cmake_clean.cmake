@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emjoin_counting.dir/counting/cardinality.cc.o"
+  "CMakeFiles/emjoin_counting.dir/counting/cardinality.cc.o.d"
+  "libemjoin_counting.a"
+  "libemjoin_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emjoin_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extmem/device.cc" "src/CMakeFiles/emjoin_extmem.dir/extmem/device.cc.o" "gcc" "src/CMakeFiles/emjoin_extmem.dir/extmem/device.cc.o.d"
+  "/root/repo/src/extmem/file.cc" "src/CMakeFiles/emjoin_extmem.dir/extmem/file.cc.o" "gcc" "src/CMakeFiles/emjoin_extmem.dir/extmem/file.cc.o.d"
+  "/root/repo/src/extmem/io_stats.cc" "src/CMakeFiles/emjoin_extmem.dir/extmem/io_stats.cc.o" "gcc" "src/CMakeFiles/emjoin_extmem.dir/extmem/io_stats.cc.o.d"
+  "/root/repo/src/extmem/memory_gauge.cc" "src/CMakeFiles/emjoin_extmem.dir/extmem/memory_gauge.cc.o" "gcc" "src/CMakeFiles/emjoin_extmem.dir/extmem/memory_gauge.cc.o.d"
+  "/root/repo/src/extmem/sorter.cc" "src/CMakeFiles/emjoin_extmem.dir/extmem/sorter.cc.o" "gcc" "src/CMakeFiles/emjoin_extmem.dir/extmem/sorter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

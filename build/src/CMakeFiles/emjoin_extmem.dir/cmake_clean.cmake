@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emjoin_extmem.dir/extmem/device.cc.o"
+  "CMakeFiles/emjoin_extmem.dir/extmem/device.cc.o.d"
+  "CMakeFiles/emjoin_extmem.dir/extmem/file.cc.o"
+  "CMakeFiles/emjoin_extmem.dir/extmem/file.cc.o.d"
+  "CMakeFiles/emjoin_extmem.dir/extmem/io_stats.cc.o"
+  "CMakeFiles/emjoin_extmem.dir/extmem/io_stats.cc.o.d"
+  "CMakeFiles/emjoin_extmem.dir/extmem/memory_gauge.cc.o"
+  "CMakeFiles/emjoin_extmem.dir/extmem/memory_gauge.cc.o.d"
+  "CMakeFiles/emjoin_extmem.dir/extmem/sorter.cc.o"
+  "CMakeFiles/emjoin_extmem.dir/extmem/sorter.cc.o.d"
+  "libemjoin_extmem.a"
+  "libemjoin_extmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emjoin_extmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

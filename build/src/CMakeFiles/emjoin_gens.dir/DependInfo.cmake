@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gens/gens.cc" "src/CMakeFiles/emjoin_gens.dir/gens/gens.cc.o" "gcc" "src/CMakeFiles/emjoin_gens.dir/gens/gens.cc.o.d"
+  "/root/repo/src/gens/lp.cc" "src/CMakeFiles/emjoin_gens.dir/gens/lp.cc.o" "gcc" "src/CMakeFiles/emjoin_gens.dir/gens/lp.cc.o.d"
+  "/root/repo/src/gens/planner.cc" "src/CMakeFiles/emjoin_gens.dir/gens/planner.cc.o" "gcc" "src/CMakeFiles/emjoin_gens.dir/gens/planner.cc.o.d"
+  "/root/repo/src/gens/psi.cc" "src/CMakeFiles/emjoin_gens.dir/gens/psi.cc.o" "gcc" "src/CMakeFiles/emjoin_gens.dir/gens/psi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emjoin_counting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/emjoin_extmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emjoin_gens.dir/gens/gens.cc.o"
+  "CMakeFiles/emjoin_gens.dir/gens/gens.cc.o.d"
+  "CMakeFiles/emjoin_gens.dir/gens/lp.cc.o"
+  "CMakeFiles/emjoin_gens.dir/gens/lp.cc.o.d"
+  "CMakeFiles/emjoin_gens.dir/gens/planner.cc.o"
+  "CMakeFiles/emjoin_gens.dir/gens/planner.cc.o.d"
+  "CMakeFiles/emjoin_gens.dir/gens/psi.cc.o"
+  "CMakeFiles/emjoin_gens.dir/gens/psi.cc.o.d"
+  "libemjoin_gens.a"
+  "libemjoin_gens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emjoin_gens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

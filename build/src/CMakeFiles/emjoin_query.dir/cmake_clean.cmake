@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emjoin_query.dir/query/classify.cc.o"
+  "CMakeFiles/emjoin_query.dir/query/classify.cc.o.d"
+  "CMakeFiles/emjoin_query.dir/query/edge_cover.cc.o"
+  "CMakeFiles/emjoin_query.dir/query/edge_cover.cc.o.d"
+  "CMakeFiles/emjoin_query.dir/query/hypergraph.cc.o"
+  "CMakeFiles/emjoin_query.dir/query/hypergraph.cc.o.d"
+  "CMakeFiles/emjoin_query.dir/query/join_tree.cc.o"
+  "CMakeFiles/emjoin_query.dir/query/join_tree.cc.o.d"
+  "libemjoin_query.a"
+  "libemjoin_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emjoin_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

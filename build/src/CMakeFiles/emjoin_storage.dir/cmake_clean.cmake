@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emjoin_storage.dir/storage/csv.cc.o"
+  "CMakeFiles/emjoin_storage.dir/storage/csv.cc.o.d"
+  "CMakeFiles/emjoin_storage.dir/storage/relation.cc.o"
+  "CMakeFiles/emjoin_storage.dir/storage/relation.cc.o.d"
+  "CMakeFiles/emjoin_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/emjoin_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/emjoin_storage.dir/storage/tuple.cc.o"
+  "CMakeFiles/emjoin_storage.dir/storage/tuple.cc.o.d"
+  "libemjoin_storage.a"
+  "libemjoin_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emjoin_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for emjoin_storage.
+# This may be replaced when dependencies are built.

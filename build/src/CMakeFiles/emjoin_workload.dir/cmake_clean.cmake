@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emjoin_workload.dir/workload/constructions.cc.o"
+  "CMakeFiles/emjoin_workload.dir/workload/constructions.cc.o.d"
+  "CMakeFiles/emjoin_workload.dir/workload/random_instance.cc.o"
+  "CMakeFiles/emjoin_workload.dir/workload/random_instance.cc.o.d"
+  "libemjoin_workload.a"
+  "libemjoin_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emjoin_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatch_routes_test.dir/dispatch_routes_test.cc.o"
+  "CMakeFiles/dispatch_routes_test.dir/dispatch_routes_test.cc.o.d"
+  "dispatch_routes_test"
+  "dispatch_routes_test.pdb"
+  "dispatch_routes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatch_routes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

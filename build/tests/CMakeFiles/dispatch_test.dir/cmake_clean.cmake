@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatch_test.dir/dispatch_test.cc.o"
+  "CMakeFiles/dispatch_test.dir/dispatch_test.cc.o.d"
+  "dispatch_test"
+  "dispatch_test.pdb"
+  "dispatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extmem_test.dir/extmem_test.cc.o"
+  "CMakeFiles/extmem_test.dir/extmem_test.cc.o.d"
+  "extmem_test"
+  "extmem_test.pdb"
+  "extmem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gens_test.dir/gens_test.cc.o"
+  "CMakeFiles/gens_test.dir/gens_test.cc.o.d"
+  "gens_test"
+  "gens_test.pdb"
+  "gens_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gens_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

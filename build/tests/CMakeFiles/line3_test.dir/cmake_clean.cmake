@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line3_test.dir/line3_test.cc.o"
+  "CMakeFiles/line3_test.dir/line3_test.cc.o.d"
+  "line3_test"
+  "line3_test.pdb"
+  "line3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_test.dir/lw_test.cc.o"
+  "CMakeFiles/lw_test.dir/lw_test.cc.o.d"
+  "lw_test"
+  "lw_test.pdb"
+  "lw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

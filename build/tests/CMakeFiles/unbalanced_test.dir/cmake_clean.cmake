@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unbalanced_test.dir/unbalanced_test.cc.o"
+  "CMakeFiles/unbalanced_test.dir/unbalanced_test.cc.o.d"
+  "unbalanced_test"
+  "unbalanced_test.pdb"
+  "unbalanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unbalanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/acyclic_join_test[1]_include.cmake")
+include("/root/repo/build/tests/extmem_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/counting_test[1]_include.cmake")
+include("/root/repo/build/tests/gens_test[1]_include.cmake")
+include("/root/repo/build/tests/pairwise_test[1]_include.cmake")
+include("/root/repo/build/tests/reduce_test[1]_include.cmake")
+include("/root/repo/build/tests/line3_test[1]_include.cmake")
+include("/root/repo/build/tests/unbalanced_test[1]_include.cmake")
+include("/root/repo/build/tests/dispatch_test[1]_include.cmake")
+include("/root/repo/build/tests/yannakakis_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/triangle_test[1]_include.cmake")
+include("/root/repo/build/tests/exhaustive_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/lw_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_test[1]_include.cmake")
+include("/root/repo/build/tests/emit_test[1]_include.cmake")
+include("/root/repo/build/tests/dispatch_routes_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")

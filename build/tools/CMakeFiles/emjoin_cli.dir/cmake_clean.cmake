@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emjoin_cli.dir/emjoin_cli.cc.o"
+  "CMakeFiles/emjoin_cli.dir/emjoin_cli.cc.o.d"
+  "emjoin_cli"
+  "emjoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emjoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

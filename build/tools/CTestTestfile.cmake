@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(emjoin_cli_demo "/root/repo/build/tools/emjoin_cli" "demo")
+set_tests_properties(emjoin_cli_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(emjoin_cli_plan "/root/repo/build/tools/emjoin_cli" "plan" "a,b:1000" "b,c:1000" "c,d:1000")
+set_tests_properties(emjoin_cli_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
