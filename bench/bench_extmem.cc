@@ -1,38 +1,29 @@
-// Experiment E13: substrate microbenchmarks (google-benchmark).
+// Experiment E13: substrate microbenchmarks.
 // Validates the external-memory simulator itself: scan charges N/B,
 // external sort charges (passes+1) * 2N/B, semijoin is linear; and
 // reports wall-clock throughput of the simulated operators.
-#include <benchmark/benchmark.h>
+//
+// Usage: bench_extmem [--json[=PATH]] [--reps=K]
+//   --json   additionally write machine-readable results to PATH
+//            (default BENCH_extmem.json); schema documented on
+//            bench::Reporter.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "core/reduce.h"
 #include "extmem/sorter.h"
+#include "storage/relation.h"
 #include "workload/constructions.h"
 
 namespace emjoin {
 namespace {
 
-void BM_SequentialScan(benchmark::State& state) {
-  const TupleCount n = state.range(0);
-  extmem::Device dev(1024, 64);
-  const storage::Relation rel = workload::Matching(&dev, 0, 1, n);
-  std::uint64_t ios = 0;
-  for (auto _ : state) {
-    const extmem::IoStats before = dev.stats();
-    extmem::FileReader reader(rel.range());
-    Value sum = 0;
-    while (!reader.Done()) sum += reader.Next()[0];
-    benchmark::DoNotOptimize(sum);
-    ios = (dev.stats() - before).total();
-  }
-  state.counters["io"] = static_cast<double>(ios);
-  state.counters["io_per_NB"] =
-      static_cast<double>(ios) / (static_cast<double>(n) / dev.B());
-}
-BENCHMARK(BM_SequentialScan)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
-
-void BM_ExternalSort(benchmark::State& state) {
-  const TupleCount n = state.range(0);
-  extmem::Device dev(1024, 64);
+std::vector<storage::Tuple> RandomRows(TupleCount n) {
   std::vector<storage::Tuple> rows;
   rows.reserve(n);
   std::uint64_t x = 88172645463325252ull;
@@ -42,59 +33,111 @@ void BM_ExternalSort(benchmark::State& state) {
     x ^= x << 17;
     rows.push_back({x % 100000, i});
   }
-  const storage::Relation rel = storage::Relation::FromTuples(
-      &dev, storage::Schema({0, 1}), rows);
-  std::uint64_t ios = 0;
-  for (auto _ : state) {
-    const extmem::IoStats before = dev.stats();
-    benchmark::DoNotOptimize(rel.SortedBy(0));
-    ios = (dev.stats() - before).total();
-  }
-  const double passes =
-      static_cast<double>(extmem::MergePassesFor(dev, n)) + 1.0;
-  state.counters["io"] = static_cast<double>(ios);
-  state.counters["io_per_pass2NB"] =
-      static_cast<double>(ios) /
-      (passes * 2.0 * static_cast<double>(n) / dev.B());
+  return rows;
 }
-BENCHMARK(BM_ExternalSort)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
 
-void BM_SemiJoin(benchmark::State& state) {
-  const TupleCount n = state.range(0);
+void BenchScan(bench::Reporter* reporter, TupleCount n, int reps) {
+  extmem::Device dev(1024, 64);
+  const storage::Relation rel = workload::Matching(&dev, 0, 1, n);
+  reporter->Measure("scan", &dev, n, reps, [&]() -> std::uint64_t {
+    extmem::FileReader reader(rel.range());
+    Value sum = 0;
+    TupleCount count = 0;
+    while (!reader.Done()) {
+      const std::span<const Value> block = reader.NextBlock();
+      for (std::size_t off = 0; off < block.size(); off += 2) {
+        sum += block[off];
+        ++count;
+      }
+    }
+    asm volatile("" ::"r"(sum));
+    return count;
+  });
+}
+
+void BenchSort(bench::Reporter* reporter, TupleCount n, int reps) {
+  extmem::Device dev(1024, 64);
+  const storage::Relation rel = storage::Relation::FromTuples(
+      &dev, storage::Schema({0, 1}), RandomRows(n));
+  const std::uint32_t key[1] = {0};
+  reporter->Measure("sort", &dev, n, reps, [&]() -> std::uint64_t {
+    extmem::FilePtr sorted = extmem::ExternalSort(rel.range(), key);
+    return sorted->size();
+  });
+}
+
+void BenchSemiJoin(bench::Reporter* reporter, TupleCount n, int reps) {
   extmem::Device dev(1024, 64);
   const storage::Relation rel = workload::ManyToOne(&dev, 0, 1, n, n / 4);
-  const storage::Relation filter =
-      workload::Matching(&dev, 1, 2, n / 2);
-  std::uint64_t ios = 0;
-  for (auto _ : state) {
-    const extmem::IoStats before = dev.stats();
-    benchmark::DoNotOptimize(core::SemiJoin(rel, filter, 1));
-    ios = (dev.stats() - before).total();
-  }
-  state.counters["io"] = static_cast<double>(ios);
+  const storage::Relation filter = workload::Matching(&dev, 1, 2, n / 2);
+  reporter->Measure("semijoin", &dev, n, reps, [&]() -> std::uint64_t {
+    return core::SemiJoin(rel, filter, 1).size();
+  });
 }
-BENCHMARK(BM_SemiJoin)->Arg(1 << 12)->Arg(1 << 15);
 
-void BM_FullReduceL5(benchmark::State& state) {
-  const TupleCount n = state.range(0);
+void BenchFullReduceL5(bench::Reporter* reporter, TupleCount n, int reps) {
   extmem::Device dev(1024, 64);
   std::vector<storage::Relation> rels;
   for (std::uint32_t i = 0; i < 5; ++i) {
     rels.push_back(workload::ManyToOne(&dev, i, i + 1, n, n / 2));
   }
-  std::uint64_t ios = 0;
-  for (auto _ : state) {
-    const extmem::IoStats before = dev.stats();
-    benchmark::DoNotOptimize(core::FullyReduce(rels));
-    ios = (dev.stats() - before).total();
-  }
-  state.counters["io"] = static_cast<double>(ios);
-  state.counters["io_per_NB"] =
-      static_cast<double>(ios) / (5.0 * static_cast<double>(n) / dev.B());
+  reporter->Measure("full_reduce_l5", &dev, n, reps, [&]() -> std::uint64_t {
+    const std::vector<storage::Relation> reduced = core::FullyReduce(rels);
+    std::uint64_t total = 0;
+    for (const storage::Relation& r : reduced) total += r.size();
+    return total;
+  });
 }
-BENCHMARK(BM_FullReduceL5)->Arg(1 << 12)->Arg(1 << 15);
+
+int Run(int argc, char** argv) {
+  bool write_json = false;
+  std::string json_path = "BENCH_extmem.json";
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      write_json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      write_json = true;
+      json_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::atoi(arg.c_str() + std::strlen("--reps="));
+      if (reps < 1) reps = 1;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  bench::Banner("E13: substrate microbenchmarks",
+                "Wall-clock and I/O cost of the external-memory substrate's "
+                "hot loops (scan, external sort, semijoin, full reduction). "
+                "I/O counts follow the Aggarwal-Vitter model exactly; wall "
+                "clock tracks the block-batched implementation.");
+
+  bench::Reporter reporter;
+  BenchScan(&reporter, TupleCount{1} << 18, reps);
+  BenchScan(&reporter, TupleCount{1} << 20, reps);
+  BenchSort(&reporter, TupleCount{1} << 12, reps);
+  BenchSort(&reporter, TupleCount{1} << 15, reps);
+  BenchSort(&reporter, TupleCount{1} << 18, reps);
+  BenchSemiJoin(&reporter, TupleCount{1} << 15, reps);
+  BenchSemiJoin(&reporter, TupleCount{1} << 18, reps);
+  BenchFullReduceL5(&reporter, TupleCount{1} << 12, reps);
+  BenchFullReduceL5(&reporter, TupleCount{1} << 15, reps);
+  reporter.PrintTable();
+
+  if (write_json) {
+    if (!reporter.WriteJson(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace emjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return emjoin::Run(argc, argv); }

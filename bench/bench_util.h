@@ -1,6 +1,7 @@
 #ifndef EMJOIN_BENCH_BENCH_UTIL_H_
 #define EMJOIN_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -93,6 +94,107 @@ inline double TheoremBound(const std::vector<storage::Relation>& rels,
 inline void Banner(const std::string& title, const std::string& claim) {
   std::printf("\n=== %s ===\n%s\n\n", title.c_str(), claim.c_str());
 }
+
+/// Monotonic wall clock in nanoseconds.
+inline std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Collects per-benchmark wall-clock and I/O measurements and renders
+/// them as a table and/or a machine-readable JSON file, so the perf
+/// trajectory of the substrate is tracked across PRs.
+///
+/// JSON schema: {"benches": [{"bench": str,
+///                            "config": {"M": int, "B": int, "n": int},
+///                            "ios": int, "wall_ns": int,
+///                            "results": int}, ...]}
+class Reporter {
+ public:
+  struct Record {
+    std::string bench;
+    std::uint64_t m = 0;        // device memory size M, in tuples
+    std::uint64_t b = 0;        // device block size B, in tuples
+    std::uint64_t n = 0;        // workload size, in tuples
+    std::uint64_t ios = 0;      // charged block I/Os for one run
+    std::uint64_t wall_ns = 0;  // best-of-repetitions wall clock
+    std::uint64_t results = 0;  // tuples produced / consumed
+  };
+
+  void Add(Record r) { records_.push_back(std::move(r)); }
+
+  /// Times `fn` `reps` times and records the best wall clock. `fn`
+  /// returns the number of result tuples; I/Os are diffed off `dev`
+  /// for the first repetition (reruns charge identically).
+  void Measure(const std::string& bench, extmem::Device* dev, std::uint64_t n,
+               int reps, const std::function<std::uint64_t()>& fn) {
+    Record rec;
+    rec.bench = bench;
+    rec.m = dev->M();
+    rec.b = dev->B();
+    rec.n = n;
+    rec.wall_ns = ~std::uint64_t{0};
+    for (int i = 0; i < reps; ++i) {
+      const extmem::IoStats before = dev->stats();
+      const std::uint64_t t0 = NowNs();
+      const std::uint64_t results = fn();
+      const std::uint64_t elapsed = NowNs() - t0;
+      if (elapsed < rec.wall_ns) rec.wall_ns = elapsed;
+      if (i == 0) {
+        rec.ios = (dev->stats() - before).total();
+        rec.results = results;
+      }
+    }
+    Add(std::move(rec));
+  }
+
+  void PrintTable() const {
+    Table table({"bench", "M", "B", "n", "ios", "wall_ms", "Mtuples/s",
+                 "results"});
+    for (const Record& r : records_) {
+      const double ms = static_cast<double>(r.wall_ns) / 1e6;
+      const double mtps = r.wall_ns == 0
+                              ? 0.0
+                              : static_cast<double>(r.n) * 1e3 /
+                                    static_cast<double>(r.wall_ns);
+      table.AddRow({r.bench, U(r.m), U(r.b), U(r.n), U(r.ios), F(ms), F(mtps),
+                    U(r.results)});
+    }
+    table.Print();
+  }
+
+  /// Writes the records as JSON. Returns false if the file can't be
+  /// opened.
+  bool WriteJson(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"benches\": [\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "    {\"bench\": \"%s\", "
+                   "\"config\": {\"M\": %llu, \"B\": %llu, \"n\": %llu}, "
+                   "\"ios\": %llu, \"wall_ns\": %llu, \"results\": %llu}%s\n",
+                   r.bench.c_str(), static_cast<unsigned long long>(r.m),
+                   static_cast<unsigned long long>(r.b),
+                   static_cast<unsigned long long>(r.n),
+                   static_cast<unsigned long long>(r.ios),
+                   static_cast<unsigned long long>(r.wall_ns),
+                   static_cast<unsigned long long>(r.results),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Record> records_;
+};
 
 }  // namespace emjoin::bench
 

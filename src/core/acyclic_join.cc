@@ -73,10 +73,15 @@ void Executor::Rec(std::vector<LiveRel> rels,
   // Base case: a single relation — emit all tuples (Algorithm 2, line 2).
   if (rels.size() == 1) {
     const LiveRel& lr = rels.front();
+    const std::uint32_t w = lr.rel.schema().arity();
     extmem::FileReader reader(lr.rel.range());
     while (!reader.Done()) {
-      Bind(lr.rel.schema(), reader.Next());
-      on_result();
+      const std::span<const Value> block = reader.NextBlock();
+      for (const Value* t = block.data(); t != block.data() + block.size();
+           t += w) {
+        Bind(lr.rel.schema(), t);
+        on_result();
+      }
     }
     return;
   }
@@ -243,8 +248,7 @@ void Executor::PeelLeaf(std::vector<LiveRel> rels,
     if (group.size() >= m) continue;  // heavy: already handled
     extmem::FileReader reader(group.range());
     while (!reader.Done()) {
-      chunk.Append(storage::TupleRef(reader.Next(),
-                                     leaf.rel.schema().arity()));
+      chunk.AppendBlock(reader.NextBlock());
     }
     if (chunk.size() >= m) flush();
   }

@@ -74,7 +74,7 @@ void LineJoin3UnderAssignment(const storage::Relation& r1_in,
     if (group.size() >= m) continue;
     extmem::FileReader reader(group.range());
     while (!reader.Done()) {
-      chunk.Append(storage::TupleRef(reader.Next(), r1.schema().arity()));
+      chunk.AppendBlock(reader.NextBlock());
     }
     if (chunk.size() >= m) flush();
   }

@@ -63,12 +63,15 @@ PartitionedRelation Partition(const Relation& rel, std::uint64_t p) {
     extmem::FileReader reader(rel.range());
     std::vector<Value> row(2 * k);
     while (!reader.Done()) {
-      const Value* t = reader.Next();
-      for (std::uint32_t i = 0; i < k; ++i) {
-        row[i] = GroupOf(t[i], p);
-        row[k + i] = t[i];
+      const std::span<const Value> block = reader.NextBlock();
+      for (const Value* t = block.data(); t != block.data() + block.size();
+           t += k) {
+        for (std::uint32_t i = 0; i < k; ++i) {
+          row[i] = GroupOf(t[i], p);
+          row[k + i] = t[i];
+        }
+        writer.Append(row);
       }
-      writer.Append(row);
     }
     writer.Finish();
   }
@@ -89,13 +92,16 @@ PartitionedRelation Partition(const Relation& rel, std::uint64_t p) {
     TupleCount i = 0;
     std::size_t next_cell = 0;
     while (!reader.Done()) {
-      const Value* t = reader.Next();
-      std::size_t cell = 0;
-      for (std::uint32_t j = 0; j < k; ++j) {
-        cell = cell * p + static_cast<std::size_t>(t[j]);
+      const std::span<const Value> block = reader.NextBlock();
+      for (const Value* t = block.data(); t != block.data() + block.size();
+           t += 2 * k) {
+        std::size_t cell = 0;
+        for (std::uint32_t j = 0; j < k; ++j) {
+          cell = cell * p + static_cast<std::size_t>(t[j]);
+        }
+        while (next_cell <= cell) out.start[next_cell++] = i;
+        ++i;
       }
-      while (next_cell <= cell) out.start[next_cell++] = i;
-      ++i;
     }
     while (next_cell <= cells) out.start[next_cell++] = i;
   }
@@ -194,9 +200,12 @@ void LoomisWhitneyJoin(const std::vector<storage::Relation>& rels,
         }
         extmem::FileReader reader(parts[i].CellRange(rel_gs));
         while (!reader.Done()) {
-          const Value* t = reader.Next();
-          cell[i].emplace_back(t + k, t + 2 * k);  // original values
-          ++loaded;
+          const std::span<const Value> block = reader.NextBlock();
+          for (const Value* t = block.data(); t != block.data() + block.size();
+               t += 2 * k) {
+            cell[i].emplace_back(t + k, t + 2 * k);  // original values
+            ++loaded;
+          }
         }
       }
       res.Resize(loaded);

@@ -31,12 +31,16 @@ void BlockNestedLoopJoin(const Relation& outer, const Relation& inner,
   extmem::Device* dev = outer.device();
   extmem::FileReader outer_reader(outer.range());
   storage::MemChunk chunk;
+  const std::uint32_t iw = inner.schema().arity();
   while (storage::LoadChunk(outer_reader, outer.schema(), dev, dev->M(),
                             &chunk)) {
     extmem::FileReader inner_reader(inner.range());
     while (!inner_reader.Done()) {
-      const Value* t = inner_reader.Next();
-      EmitChunkMatches(chunk, inner.schema(), t, base, emit);
+      const std::span<const Value> block = inner_reader.NextBlock();
+      for (const Value* t = block.data(); t != block.data() + block.size();
+           t += iw) {
+        EmitChunkMatches(chunk, inner.schema(), t, base, emit);
+      }
     }
   }
 }
@@ -81,10 +85,14 @@ void SortMergeJoin(const Relation& r1, const Relation& r2, Assignment* base,
       storage::MemChunk chunk;
       storage::LoadChunk(small_reader, small.schema(), dev, small.size(),
                          &chunk);
+      const std::uint32_t lw = large.schema().arity();
       extmem::FileReader large_reader(large.range());
       while (!large_reader.Done()) {
-        EmitChunkMatches(chunk, large.schema(), large_reader.Next(), base,
-                         emit);
+        const std::span<const Value> block = large_reader.NextBlock();
+        for (const Value* t = block.data(); t != block.data() + block.size();
+             t += lw) {
+          EmitChunkMatches(chunk, large.schema(), t, base, emit);
+        }
       }
     }
     c1.Advance();

@@ -19,24 +19,28 @@ Relation SemiJoin(const Relation& rel, const Relation& filter,
   extmem::FilePtr out = dev->NewFile(left.schema().arity());
   extmem::FileWriter writer(out);
 
+  const std::uint32_t w = left.schema().arity();
   extmem::FileReader lr(left.range());
-  extmem::FileReader rr(right.range());
+  extmem::BlockCursor rr(right.range());
   bool have_r = !rr.Done();
   Value rv = 0;
   if (have_r) rv = rr.Next()[rcol];
 
   while (!lr.Done()) {
-    const Value* t = lr.Next();
-    const Value lv = t[lcol];
-    while (have_r && rv < lv) {
-      if (rr.Done()) {
-        have_r = false;
-      } else {
-        rv = rr.Next()[rcol];
+    const std::span<const Value> block = lr.NextBlock();
+    for (const Value* t = block.data(); t != block.data() + block.size();
+         t += w) {
+      const Value lv = t[lcol];
+      while (have_r && rv < lv) {
+        if (rr.Done()) {
+          have_r = false;
+        } else {
+          rv = rr.Next()[rcol];
+        }
       }
-    }
-    if (have_r && rv == lv) {
-      writer.Append({t, left.schema().arity()});
+      if (have_r && rv == lv) {
+        writer.Append({t, w});
+      }
     }
   }
   writer.Finish();
@@ -60,11 +64,15 @@ Relation SemiJoinValues(const Relation& rel, storage::AttrId a,
     const TupleCount begin = lo.range().begin - rel.range().begin;
     const TupleCount end = hi.range().end - rel.range().begin;
     const Relation span_rel = rel.Slice(begin, end);
+    const std::uint32_t w = rel.schema().arity();
     extmem::FileReader reader(span_rel.range());
     while (!reader.Done()) {
-      const Value* t = reader.Next();
-      if (std::binary_search(values.begin(), values.end(), t[col])) {
-        writer.Append({t, rel.schema().arity()});
+      const std::span<const Value> block = reader.NextBlock();
+      for (const Value* t = block.data(); t != block.data() + block.size();
+           t += w) {
+        if (std::binary_search(values.begin(), values.end(), t[col])) {
+          writer.Append({t, w});
+        }
       }
     }
   }

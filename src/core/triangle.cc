@@ -57,9 +57,12 @@ PartitionedRelation Partition(const Relation& rel, std::uint64_t p) {
     extmem::FileWriter writer(augmented);
     extmem::FileReader reader(rel.range());
     while (!reader.Done()) {
-      const Value* t = reader.Next();
-      const Value row[4] = {GroupOf(t[0], p), GroupOf(t[1], p), t[0], t[1]};
-      writer.Append(row);
+      const std::span<const Value> block = reader.NextBlock();
+      for (const Value* t = block.data(); t != block.data() + block.size();
+           t += 2) {
+        const Value row[4] = {GroupOf(t[0], p), GroupOf(t[1], p), t[0], t[1]};
+        writer.Append(row);
+      }
     }
     writer.Finish();
   }
@@ -77,11 +80,14 @@ PartitionedRelation Partition(const Relation& rel, std::uint64_t p) {
     TupleCount i = 0;
     std::size_t next_bucket = 0;
     while (!reader.Done()) {
-      const Value* t = reader.Next();
-      const std::size_t bucket =
-          static_cast<std::size_t>(t[0] * p + t[1]);
-      while (next_bucket <= bucket) out.start[next_bucket++] = i;
-      ++i;
+      const std::span<const Value> block = reader.NextBlock();
+      for (const Value* t = block.data(); t != block.data() + block.size();
+           t += 4) {
+        const std::size_t bucket =
+            static_cast<std::size_t>(t[0] * p + t[1]);
+        while (next_bucket <= bucket) out.start[next_bucket++] = i;
+        ++i;
+      }
     }
     while (next_bucket <= p * p) out.start[next_bucket++] = i;
   }
@@ -145,9 +151,12 @@ void TriangleJoin(const Relation& r1, const Relation& r2, const Relation& r3,
     extmem::FileWriter writer(f);
     extmem::FileReader reader(rel.range());
     while (!reader.Done()) {
-      const Value* t = reader.Next();
-      const Value row[2] = {t[1], t[0]};
-      writer.Append(row);
+      const std::span<const Value> block = reader.NextBlock();
+      for (const Value* t = block.data(); t != block.data() + block.size();
+           t += 2) {
+        const Value row[2] = {t[1], t[0]};
+        writer.Append(row);
+      }
     }
     writer.Finish();
     return Relation(Schema({first, second}), extmem::FileRange(f));
@@ -202,19 +211,22 @@ void TriangleJoin(const Relation& r1, const Relation& r2, const Relation& r3,
 
             extmem::FileReader reader3(sub3);
             while (!reader3.Done()) {
-              const Value* t = reader3.Next();
-              const Value vb = t[2], vc = t[3];
-              const auto it = a_by_b.find(vb);
-              if (it == a_by_b.end() || !c_present.count(vc)) continue;
-              for (Value va : it->second) {
-                if (!ac_set.count({va, vc})) continue;
-                const Value row1[2] = {va, vb};
-                const Value row2[2] = {va, vc};
-                const Value row3[2] = {vb, vc};
-                assignment.Bind(sch1, row1);
-                assignment.Bind(sch2, row2);
-                assignment.Bind(sch3, row3);
-                emit(assignment.values());
+              const std::span<const Value> block3 = reader3.NextBlock();
+              for (const Value* t = block3.data();
+                   t != block3.data() + block3.size(); t += 4) {
+                const Value vb = t[2], vc = t[3];
+                const auto it = a_by_b.find(vb);
+                if (it == a_by_b.end() || !c_present.count(vc)) continue;
+                for (Value va : it->second) {
+                  if (!ac_set.count({va, vc})) continue;
+                  const Value row1[2] = {va, vb};
+                  const Value row2[2] = {va, vc};
+                  const Value row3[2] = {vb, vc};
+                  assignment.Bind(sch1, row1);
+                  assignment.Bind(sch2, row2);
+                  assignment.Bind(sch3, row3);
+                  emit(assignment.values());
+                }
               }
             }
           }

@@ -99,17 +99,21 @@ void LineJoinUnbalanced5UnderAssignment(
   KeyedScanner t_scan(ts, ColsOf(ts.schema(), keys));
   const std::vector<std::uint32_t> r3_cols = ColsOf(r3s.schema(), keys);
 
+  const std::uint32_t r3w = r3s.schema().arity();
   extmem::FileReader r3_reader(r3s.range());
   while (!r3_reader.Done()) {
-    const Value* tup = r3_reader.Next();
-    const Value key[2] = {tup[r3_cols[0]], tup[r3_cols[1]]};
-    const storage::Relation s_t = s_scan.CollectEqual(key);
-    if (s_t.empty()) continue;
-    const storage::Relation t_t = t_scan.CollectEqual(key);
-    if (t_t.empty()) continue;
-    // Every pair matches (the slices agree on v3, v4, the only shared
-    // attributes); S(t) has size ≤ N1, T(t) ≤ N5.
-    BlockNestedLoopJoin(s_t, t_t, assignment, emit);
+    const std::span<const Value> block = r3_reader.NextBlock();
+    for (const Value* tup = block.data(); tup != block.data() + block.size();
+         tup += r3w) {
+      const Value key[2] = {tup[r3_cols[0]], tup[r3_cols[1]]};
+      const storage::Relation s_t = s_scan.CollectEqual(key);
+      if (s_t.empty()) continue;
+      const storage::Relation t_t = t_scan.CollectEqual(key);
+      if (t_t.empty()) continue;
+      // Every pair matches (the slices agree on v3, v4, the only shared
+      // attributes); S(t) has size ≤ N1, T(t) ≤ N5.
+      BlockNestedLoopJoin(s_t, t_t, assignment, emit);
+    }
   }
 }
 

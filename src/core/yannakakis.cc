@@ -39,10 +39,15 @@ YannakakisReport YannakakisJoin(const std::vector<storage::Relation>& rels,
 
   // Emit phase: one scan of the final result.
   Assignment assignment(MakeResultSchema(rels));
+  const std::uint32_t w = final_rel.schema().arity();
   extmem::FileReader reader(final_rel.range());
   while (!reader.Done()) {
-    assignment.Bind(final_rel.schema(), reader.Next());
-    emit(assignment.values());
+    const std::span<const Value> block = reader.NextBlock();
+    for (const Value* t = block.data(); t != block.data() + block.size();
+         t += w) {
+      assignment.Bind(final_rel.schema(), t);
+      emit(assignment.values());
+    }
   }
   return report;
 }

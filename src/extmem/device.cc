@@ -21,16 +21,10 @@ std::shared_ptr<DiskFile> Device::NewFile(std::uint32_t width) {
 }
 
 std::string Device::TagReport() const {
-  // Merge by string content (equal literals may have distinct addresses
-  // across translation units).
-  std::map<std::string, IoStats> merged;
-  for (const auto& [tag, stats] : per_tag_) {
-    IoStats& s = merged[tag];
-    s.block_reads += stats.block_reads;
-    s.block_writes += stats.block_writes;
-  }
+  // per_tag_ is keyed by string content, so equal literals from different
+  // translation units already share one row.
   std::string out;
-  for (const auto& [tag, stats] : merged) {
+  for (const auto& [tag, stats] : per_tag_) {
     if (stats.total() == 0) continue;
     if (!out.empty()) out += ", ";
     out += tag;

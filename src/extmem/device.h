@@ -2,9 +2,11 @@
 #define EMJOIN_EXTMEM_DEVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "extmem/defs.h"
 #include "extmem/io_stats.h"
@@ -62,16 +64,21 @@ class Device {
   }
 
   /// Sets the attribution tag for subsequent charges (see ScopedIoTag).
-  /// `tag` must be a string literal (stored by pointer).
+  /// `tag` must outlive the scope it is active in (string literals in
+  /// practice); entries are keyed by content, so equal literals from
+  /// different translation units share one row.
   const char* set_tag(const char* tag) {
     const char* prev = tag_;
     tag_ = tag;
-    tag_entry_ = &per_tag_[tag];
+    tag_entry_ = FindTagEntry(tag);
     return prev;
   }
 
   /// Per-operation I/O breakdown ("scan", "sort", "semijoin", ...).
-  const std::map<const char*, IoStats>& per_tag() const { return per_tag_; }
+  /// Heterogeneous lookup (string_view / const char*) is supported.
+  const std::map<std::string, IoStats, std::less<>>& per_tag() const {
+    return per_tag_;
+  }
 
   /// Human-readable per-tag breakdown.
   std::string TagReport() const;
@@ -82,13 +89,19 @@ class Device {
   IoStats stats_;
   MemoryGauge gauge_;
   IoStats* TagEntry() {
-    if (tag_entry_ == nullptr) tag_entry_ = &per_tag_[tag_];
+    if (tag_entry_ == nullptr) tag_entry_ = FindTagEntry(tag_);
     return tag_entry_;
+  }
+
+  IoStats* FindTagEntry(std::string_view tag) {
+    const auto it = per_tag_.find(tag);
+    if (it != per_tag_.end()) return &it->second;
+    return &per_tag_.emplace(std::string(tag), IoStats{}).first->second;
   }
 
   const char* tag_ = "scan";
   IoStats* tag_entry_ = nullptr;
-  std::map<const char*, IoStats> per_tag_;
+  std::map<std::string, IoStats, std::less<>> per_tag_;
 };
 
 /// RAII I/O-attribution scope: all charges on `device` between

@@ -1,6 +1,7 @@
 #ifndef EMJOIN_EXTMEM_FILE_H_
 #define EMJOIN_EXTMEM_FILE_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -49,9 +50,21 @@ class DiskFile {
     data_.insert(data_.end(), tuple.begin(), tuple.end());
   }
 
+  /// Uncharged bulk append of whole tuples (writers charge I/O themselves).
+  void AppendRawBulk(std::span<const Value> tuples) {
+    assert(tuples.size() % width_ == 0);
+    data_.insert(data_.end(), tuples.begin(), tuples.end());
+  }
+
   /// Uncharged in-place whole-file sort hook used by the external sorter
   /// for single-run inputs that fit in memory.
   std::vector<Value>& MutableData() { return data_; }
+
+  /// Pre-sizes the backing store for `tuples` more tuples. Purely a
+  /// wall-clock hint (avoids vector regrowth); never affects charging.
+  void Reserve(TupleCount tuples) {
+    data_.reserve(data_.size() + tuples * width_);
+  }
 
  private:
   Device* device_;
@@ -122,11 +135,34 @@ class FileReader {
     return range_.file->RawTuple(pos_);
   }
 
+  /// Returns the maximal run of tuples from the cursor to the end of the
+  /// current device block (clipped to the range end and to `max_tuples`)
+  /// and advances past it. Charges exactly what tuple-at-a-time Next()
+  /// calls over the same positions would: one block read when the cursor
+  /// enters a block it has not yet read, nothing for the rest of the
+  /// block. The span aliases the file's storage and is invalidated by any
+  /// append to the same file.
+  std::span<const Value> NextBlock(TupleCount max_tuples = ~TupleCount{0}) {
+    assert(!Done());
+    ChargeIfNewBlock();
+    const TupleCount b = range_.file->device()->B();
+    const TupleCount block_end = (pos_ / b + 1) * b;
+    TupleCount end = std::min<TupleCount>(block_end, range_.end);
+    if (end - pos_ > max_tuples) end = pos_ + max_tuples;
+    const Value* base = range_.file->RawTuple(pos_);
+    const std::size_t tuples = static_cast<std::size_t>(end - pos_);
+    pos_ = end;
+    return {base, tuples * range_.file->width()};
+  }
+
   /// Tuples remaining.
   TupleCount Remaining() const { return range_.end - pos_; }
 
   /// Absolute position in the underlying file.
   TupleCount position() const { return pos_; }
+
+  /// Values per tuple of the underlying file.
+  std::uint32_t width() const { return range_.file->width(); }
 
  private:
   void ChargeIfNewBlock() {
@@ -163,6 +199,22 @@ class FileWriter {
     }
   }
 
+  /// Bulk append of whole tuples (size must be a multiple of the file
+  /// width) with one memcpy-style copy. Charges exactly what the
+  /// equivalent sequence of Append() calls would: one block write per B
+  /// tuples buffered, with any trailing partial block deferred to the
+  /// next append or Finish().
+  void AppendBlock(std::span<const Value> tuples) {
+    assert(tuples.size() % file_->width() == 0);
+    file_->AppendRawBulk(tuples);
+    buffered_ += tuples.size() / file_->width();
+    const TupleCount b = file_->device()->B();
+    if (buffered_ >= b) {
+      file_->device()->ChargeWriteBlocks(buffered_ / b);
+      buffered_ %= b;
+    }
+  }
+
   /// Flushes the trailing partial block. Idempotent.
   void Finish() {
     if (buffered_ > 0) {
@@ -176,6 +228,51 @@ class FileWriter {
  private:
   FilePtr file_;
   TupleCount buffered_ = 0;
+};
+
+/// Tuple-at-a-time cursor layered over FileReader::NextBlock(): the hot
+/// path (Head()/Advance() within a fetched block) is a pointer bump with
+/// no charging branch. Blocks are fetched lazily, so a cursor that is
+/// never read charges nothing — the charge profile is identical to
+/// calling FileReader::Next() for exactly the tuples consumed.
+class BlockCursor {
+ public:
+  explicit BlockCursor(FileRange range)
+      : reader_(std::move(range)), width_(reader_.width()) {}
+
+  bool Done() const { return cur_ == end_ && reader_.Done(); }
+
+  /// Current tuple. Fetches (and charges) the next block on first use.
+  const Value* Head() {
+    if (cur_ == end_) Refill();
+    return cur_;
+  }
+
+  /// Advances to the next tuple without charging (the block is resident).
+  void Advance() {
+    assert(cur_ != end_);
+    cur_ += width_;
+  }
+
+  /// Head() + Advance().
+  const Value* Next() {
+    const Value* t = Head();
+    Advance();
+    return t;
+  }
+
+ private:
+  void Refill() {
+    assert(!reader_.Done());
+    const std::span<const Value> block = reader_.NextBlock();
+    cur_ = block.data();
+    end_ = block.data() + block.size();
+  }
+
+  FileReader reader_;
+  std::uint32_t width_;
+  const Value* cur_ = nullptr;
+  const Value* end_ = nullptr;
 };
 
 }  // namespace emjoin::extmem

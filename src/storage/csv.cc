@@ -88,12 +88,14 @@ void RelationToCsv(const Relation& rel, std::ostream& out) {
   extmem::FileReader reader(rel.range());
   const std::uint32_t w = rel.schema().arity();
   while (!reader.Done()) {
-    const Value* t = reader.Next();
-    for (std::uint32_t i = 0; i < w; ++i) {
-      if (i > 0) out << ',';
-      out << t[i];
+    const std::span<const Value> block = reader.NextBlock();
+    for (std::size_t off = 0; off < block.size(); off += w) {
+      for (std::uint32_t i = 0; i < w; ++i) {
+        if (i > 0) out << ',';
+        out << block[off + i];
+      }
+      out << '\n';
     }
-    out << '\n';
   }
 }
 

@@ -74,17 +74,21 @@ void Relation::ForEachGroup(
   const std::uint32_t col = *pos;
 
   extmem::FileReader reader(range_);
+  const std::uint32_t w = schema_.arity();
   TupleCount group_start = 0;
   TupleCount i = 0;
   std::optional<Value> current;
   while (!reader.Done()) {
-    const Value v = reader.Next()[col];
-    if (current.has_value() && v != *current) {
-      fn(*current, Slice(group_start, i));
-      group_start = i;
+    const std::span<const Value> block = reader.NextBlock();
+    for (std::size_t off = 0; off < block.size(); off += w) {
+      const Value v = block[off + col];
+      if (current.has_value() && v != *current) {
+        fn(*current, Slice(group_start, i));
+        group_start = i;
+      }
+      current = v;
+      ++i;
     }
-    current = v;
-    ++i;
   }
   if (current.has_value()) {
     fn(*current, Slice(group_start, i));
@@ -97,8 +101,10 @@ std::vector<Tuple> Relation::ReadAll() const {
   extmem::FileReader reader(range_);
   const std::uint32_t w = schema_.arity();
   while (!reader.Done()) {
-    const Value* t = reader.Next();
-    out.emplace_back(t, t + w);
+    const std::span<const Value> block = reader.NextBlock();
+    for (std::size_t off = 0; off < block.size(); off += w) {
+      out.emplace_back(block.data() + off, block.data() + off + w);
+    }
   }
   return out;
 }
@@ -150,8 +156,9 @@ bool LoadChunk(extmem::FileReader& reader, const Schema& schema,
   *out = MemChunk(schema, device);
   TupleCount loaded = 0;
   while (!reader.Done() && loaded < max_tuples) {
-    out->Append(TupleRef(reader.Next(), schema.arity()));
-    ++loaded;
+    const std::span<const Value> block = reader.NextBlock(max_tuples - loaded);
+    out->AppendBlock(block);
+    loaded += block.size() / schema.arity();
   }
   return true;
 }

@@ -99,6 +99,14 @@ class MemChunk {
     reservation_.Resize(count_);
   }
 
+  /// Bulk append of whole tuples (one copy, one gauge update).
+  void AppendBlock(std::span<const Value> tuples) {
+    assert(tuples.size() % schema_.arity() == 0);
+    data_.insert(data_.end(), tuples.begin(), tuples.end());
+    count_ += tuples.size() / schema_.arity();
+    reservation_.Resize(count_);
+  }
+
   void Clear() {
     data_.clear();
     count_ = 0;

@@ -147,7 +147,7 @@ TEST_P(SorterTest, SortsAndChargesExpectedPasses) {
   const auto [n, m, b] = GetParam();
   Device dev(m, b);
   FilePtr f = dev.NewFile(2);
-  std::mt19937_64 rng(n * 1000003 + m);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(n) * 1000003 + m);
   std::vector<std::pair<Value, Value>> rows;
   {
     FileWriter w(f);
