@@ -134,10 +134,13 @@ int Run(int argc, char** argv) {
     }
     std::printf("\nwrote %s\n", json_path.c_str());
   }
-  return 0;
+  return bench::FinishTrace();
 }
 
 }  // namespace
 }  // namespace emjoin
 
-int main(int argc, char** argv) { return emjoin::Run(argc, argv); }
+int main(int argc, char** argv) {
+  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
+  return emjoin::Run(argc, argv);
+}

@@ -68,7 +68,8 @@ void Run() {
 }  // namespace
 }  // namespace emjoin
 
-int main() {
+int main(int argc, char** argv) {
+  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
   emjoin::Run();
-  return 0;
+  return emjoin::bench::FinishTrace();
 }

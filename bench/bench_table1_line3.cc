@@ -29,15 +29,17 @@ void Run() {
     const auto rels1 = workload::L3WorstCase(&dev1, n, 1, n);
     const auto rels2 = workload::L3WorstCase(&dev2, n, 1, n);
 
-    const bench::Measured alg1 = bench::MeasureJoin(&dev1, [&](auto emit) {
-      core::LineJoin3(rels1[0], rels1[1], rels1[2], emit);
-    });
-    const bench::Measured alg2 = bench::MeasureJoin(&dev2, [&](auto emit) {
-      core::AcyclicJoin(rels2, emit);
-    });
-
     const double bound = static_cast<double>(n) * n / (m * b) +
                          3.0 * static_cast<double>(n) / b;
+    const bench::Measured alg1 = bench::MeasureJoin(
+        &dev1,
+        [&](auto emit) {
+          core::LineJoin3(rels1[0], rels1[1], rels1[2], emit);
+        },
+        bench::InternSpanName("alg1_L3 N=" + std::to_string(n)), bound);
+    const bench::Measured alg2 = bench::MeasureJoin(
+        &dev2, [&](auto emit) { core::AcyclicJoin(rels2, emit); },
+        bench::InternSpanName("alg2_L3 N=" + std::to_string(n)), bound);
     table.AddRow({bench::U(n), bench::U(m), bench::U(b),
                   bench::U(alg1.results), bench::U(alg1.ios),
                   bench::U(alg2.ios), bench::F(bound),
@@ -52,7 +54,8 @@ void Run() {
 }  // namespace
 }  // namespace emjoin
 
-int main() {
+int main(int argc, char** argv) {
+  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
   emjoin::Run();
-  return 0;
+  return emjoin::bench::FinishTrace();
 }

@@ -70,8 +70,9 @@ void RunInstanceOptimal() {
 }  // namespace
 }  // namespace emjoin
 
-int main() {
+int main(int argc, char** argv) {
+  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
   emjoin::RunWorstCase();
   emjoin::RunInstanceOptimal();
-  return 0;
+  return emjoin::bench::FinishTrace();
 }

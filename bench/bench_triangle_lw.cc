@@ -126,8 +126,9 @@ void RunLw() {
 }  // namespace
 }  // namespace emjoin
 
-int main() {
+int main(int argc, char** argv) {
+  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
   emjoin::RunTriangle();
   emjoin::RunLw();
-  return 0;
+  return emjoin::bench::FinishTrace();
 }

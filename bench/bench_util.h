@@ -5,14 +5,129 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <map>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/emit.h"
 #include "extmem/device.h"
 #include "gens/psi.h"
+#include "trace/sinks.h"
+#include "trace/tracer.h"
 
 namespace emjoin::bench {
+
+/// Process-wide tracing configuration, filled in by ParseTraceFlags.
+/// `enabled` is false unless the user passed a --trace flag, so benches
+/// run with tracing fully detached (Device::tracer() == nullptr) by
+/// default and keep their untraced wall clock.
+struct TraceConfig {
+  bool enabled = false;
+  std::string path;              // empty: tree report to stdout
+  std::string format = "tree";   // tree | jsonl | chrome
+};
+
+inline TraceConfig& GlobalTraceConfig() {
+  static TraceConfig config;
+  return config;
+}
+
+inline trace::Tracer& GlobalTracer() {
+  static trace::Tracer tracer;
+  return tracer;
+}
+
+/// Strips `--trace[=PATH]` and `--trace-format={tree,jsonl,chrome}` from
+/// argv (compacting it in place and shrinking *argc) so bench-specific
+/// flag parsing never sees them. Returns false — after printing a
+/// diagnostic to stderr — on an unknown trace format or a file-backed
+/// format without a path; callers should exit nonzero.
+inline bool ParseTraceFlags(int* argc, char** argv) {
+  TraceConfig& config = GlobalTraceConfig();
+  bool ok = true;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--trace") {
+      config.enabled = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      config.enabled = true;
+      config.path = std::string(arg.substr(8));
+    } else if (arg.rfind("--trace-format=", 0) == 0) {
+      config.enabled = true;
+      config.format = std::string(arg.substr(15));
+      if (config.format != "tree" && config.format != "jsonl" &&
+          config.format != "chrome") {
+        std::fprintf(stderr,
+                     "unknown trace format '%s' (expected tree, jsonl, or "
+                     "chrome)\n",
+                     config.format.c_str());
+        ok = false;
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (ok && config.enabled && config.format != "tree" &&
+      config.path.empty()) {
+    std::fprintf(stderr, "--trace-format=%s requires --trace=PATH\n",
+                 config.format.c_str());
+    ok = false;
+  }
+  return ok;
+}
+
+/// Attaches the global tracer to `dev` iff tracing was requested.
+inline void AttachTracer(extmem::Device* dev) {
+  if (GlobalTraceConfig().enabled) dev->set_tracer(&GlobalTracer());
+}
+
+/// Interns a dynamic span name (SpanRecord stores a borrowed pointer).
+inline const char* InternSpanName(const std::string& name) {
+  static std::set<std::string> names;
+  return names.insert(name).first->c_str();
+}
+
+/// Flushes the collected trace to the configured sink. Call at the end
+/// of main and return the result as the exit code: 0 on success or when
+/// tracing is disabled, 1 when the output file cannot be written.
+inline int FinishTrace() {
+  const TraceConfig& config = GlobalTraceConfig();
+  if (!config.enabled) return 0;
+  const trace::Tracer& tracer = GlobalTracer();
+  bool ok = true;
+  if (config.format == "jsonl") {
+    ok = trace::WriteJsonl(tracer, config.path);
+  } else if (config.format == "chrome") {
+    ok = trace::WriteChromeTrace(tracer, config.path);
+  } else {
+    const std::string report = trace::TreeReport(tracer);
+    if (config.path.empty()) {
+      std::fputs(report.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(config.path.c_str(), "w");
+      ok = f != nullptr;
+      if (ok) {
+        std::fputs(report.c_str(), f);
+        std::fclose(f);
+      }
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "failed to write trace to %s\n",
+                 config.path.c_str());
+    return 1;
+  }
+  if (!config.path.empty()) {
+    std::fprintf(stderr, "trace: %zu spans (%s) -> %s\n",
+                 tracer.spans().size(), config.format.c_str(),
+                 config.path.c_str());
+  }
+  return 0;
+}
 
 /// Fixed-width table printer for experiment output.
 class Table {
@@ -70,12 +185,21 @@ struct Measured {
   std::uint64_t results = 0;
 };
 
+/// When tracing is enabled the run is wrapped in a root span named
+/// `span_name`; pass `expect_ios` (the paper's formula value for this
+/// instance) to annotate the span for measured/expected reporting.
 inline Measured MeasureJoin(
     extmem::Device* dev,
-    const std::function<void(const core::EmitFn&)>& run) {
+    const std::function<void(const core::EmitFn&)>& run,
+    const char* span_name = "join", long double expect_ios = -1.0L) {
+  AttachTracer(dev);
   core::CountingSink sink;
   const extmem::IoStats before = dev->stats();
-  run(sink.AsEmitFn());
+  {
+    trace::Span span(dev, span_name);
+    if (expect_ios >= 0.0L) span.ExpectIos(expect_ios);
+    run(sink.AsEmitFn());
+  }
   Measured m;
   m.ios = (dev->stats() - before).total();
   m.results = sink.count();
@@ -109,8 +233,10 @@ inline std::uint64_t NowNs() {
 ///
 /// JSON schema: {"benches": [{"bench": str,
 ///                            "config": {"M": int, "B": int, "n": int},
-///                            "ios": int, "wall_ns": int,
-///                            "results": int}, ...]}
+///                            "ios": int, "wall_ns": int, "results": int,
+///                            "peak_mem": int,
+///                            "tags": {tag: {"reads": int,
+///                                           "writes": int}, ...}}, ...]}
 class Reporter {
  public:
   struct Record {
@@ -121,6 +247,9 @@ class Reporter {
     std::uint64_t ios = 0;      // charged block I/Os for one run
     std::uint64_t wall_ns = 0;  // best-of-repetitions wall clock
     std::uint64_t results = 0;  // tuples produced / consumed
+    std::uint64_t peak_mem = 0; // gauge high-water during the first rep
+    // Per-tag I/O deltas for the first repetition (nonzero tags only).
+    std::map<std::string, extmem::IoStats, std::less<>> tags;
   };
 
   void Add(Record r) { records_.push_back(std::move(r)); }
@@ -130,6 +259,7 @@ class Reporter {
   /// for the first repetition (reruns charge identically).
   void Measure(const std::string& bench, extmem::Device* dev, std::uint64_t n,
                int reps, const std::function<std::uint64_t()>& fn) {
+    AttachTracer(dev);
     Record rec;
     rec.bench = bench;
     rec.m = dev->M();
@@ -138,13 +268,27 @@ class Reporter {
     rec.wall_ns = ~std::uint64_t{0};
     for (int i = 0; i < reps; ++i) {
       const extmem::IoStats before = dev->stats();
+      const auto tags_before = dev->per_tag();
       const std::uint64_t t0 = NowNs();
-      const std::uint64_t results = fn();
+      std::uint64_t results = 0;
+      {
+        trace::Span span(dev, InternSpanName(bench));
+        results = fn();
+      }
       const std::uint64_t elapsed = NowNs() - t0;
       if (elapsed < rec.wall_ns) rec.wall_ns = elapsed;
       if (i == 0) {
         rec.ios = (dev->stats() - before).total();
         rec.results = results;
+        rec.peak_mem = dev->gauge().high_water();
+        for (const auto& [tag, after] : dev->per_tag()) {
+          extmem::IoStats delta = after;
+          if (const auto it = tags_before.find(tag);
+              it != tags_before.end()) {
+            delta = after - it->second;
+          }
+          if (delta.total() > 0) rec.tags[tag] = delta;
+        }
       }
     }
     Add(std::move(rec));
@@ -152,7 +296,7 @@ class Reporter {
 
   void PrintTable() const {
     Table table({"bench", "M", "B", "n", "ios", "wall_ms", "Mtuples/s",
-                 "results"});
+                 "results", "peak_mem"});
     for (const Record& r : records_) {
       const double ms = static_cast<double>(r.wall_ns) / 1e6;
       const double mtps = r.wall_ns == 0
@@ -160,7 +304,7 @@ class Reporter {
                               : static_cast<double>(r.n) * 1e3 /
                                     static_cast<double>(r.wall_ns);
       table.AddRow({r.bench, U(r.m), U(r.b), U(r.n), U(r.ios), F(ms), F(mtps),
-                    U(r.results)});
+                    U(r.results), U(r.peak_mem)});
     }
     table.Print();
   }
@@ -176,14 +320,24 @@ class Reporter {
       std::fprintf(f,
                    "    {\"bench\": \"%s\", "
                    "\"config\": {\"M\": %llu, \"B\": %llu, \"n\": %llu}, "
-                   "\"ios\": %llu, \"wall_ns\": %llu, \"results\": %llu}%s\n",
+                   "\"ios\": %llu, \"wall_ns\": %llu, \"results\": %llu, "
+                   "\"peak_mem\": %llu, \"tags\": {",
                    r.bench.c_str(), static_cast<unsigned long long>(r.m),
                    static_cast<unsigned long long>(r.b),
                    static_cast<unsigned long long>(r.n),
                    static_cast<unsigned long long>(r.ios),
                    static_cast<unsigned long long>(r.wall_ns),
                    static_cast<unsigned long long>(r.results),
-                   i + 1 < records_.size() ? "," : "");
+                   static_cast<unsigned long long>(r.peak_mem));
+      bool first_tag = true;
+      for (const auto& [tag, io] : r.tags) {
+        std::fprintf(f, "%s\"%s\": {\"reads\": %llu, \"writes\": %llu}",
+                     first_tag ? "" : ", ", tag.c_str(),
+                     static_cast<unsigned long long>(io.block_reads),
+                     static_cast<unsigned long long>(io.block_writes));
+        first_tag = false;
+      }
+      std::fprintf(f, "}}%s\n", i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

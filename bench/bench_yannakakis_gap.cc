@@ -71,8 +71,9 @@ void RunLine3() {
 }  // namespace
 }  // namespace emjoin
 
-int main() {
+int main(int argc, char** argv) {
+  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
   emjoin::RunTwoRelations();
   emjoin::RunLine3();
-  return 0;
+  return emjoin::bench::FinishTrace();
 }

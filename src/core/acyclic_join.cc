@@ -5,6 +5,7 @@
 
 #include "core/reduce.h"
 #include "query/classify.h"
+#include "trace/tracer.h"
 
 namespace emjoin::core {
 
@@ -123,6 +124,8 @@ void Executor::Rec(std::vector<LiveRel> rels,
 void Executor::PeelBud(std::vector<LiveRel> rels, query::EdgeId bud,
                        storage::AttrId v,
                        const std::function<void()>& on_result) {
+  trace::Span span(dev_, "peel.bud");
+  span.Count("peel_steps", 1);
   // Dropping a bud is only sound if every surviving result's v-value has
   // a matching bud tuple. The instance is fully reduced only globally, so
   // we first semijoin the bud into one neighbour (Õ(N/B), within the
@@ -143,6 +146,8 @@ void Executor::PeelBud(std::vector<LiveRel> rels, query::EdgeId bud,
 
 void Executor::PeelIsland(std::vector<LiveRel> rels, query::EdgeId island,
                           const std::function<void()>& on_result) {
+  trace::Span span(dev_, "peel.island");
+  span.Count("peel_steps", 1);
   const LiveRel lr = rels[island];
   std::vector<LiveRel> rest = rels;
   rest.erase(rest.begin() + island);
@@ -165,6 +170,8 @@ void Executor::PeelIsland(std::vector<LiveRel> rels, query::EdgeId island,
 void Executor::PeelLeaf(std::vector<LiveRel> rels,
                         const query::LeafInfo& info,
                         const std::function<void()>& on_result) {
+  trace::Span span(dev_, "peel.leaf");
+  span.Count("peel_steps", 1);
   const storage::AttrId v = info.join_attr;
   const TupleCount m = dev_->M();
 
@@ -179,6 +186,7 @@ void Executor::PeelLeaf(std::vector<LiveRel> rels,
   // --- Heavy values (lines 14–20). ---
   for (storage::GroupCursor cur(leaf.rel, v); !cur.Done(); cur.Advance()) {
     if (cur.group().size() < m) continue;
+    span.Count("heavy_values", 1);
     const Value a = cur.value();
 
     // R'(a): neighbours restricted to v = a; v leaves the logical query,
@@ -217,6 +225,7 @@ void Executor::PeelLeaf(std::vector<LiveRel> rels,
   MemChunk chunk(leaf.rel.schema(), dev_);
   auto flush = [&] {
     if (chunk.empty()) return;
+    span.Count("light_chunks", 1);
     const std::vector<Value> vals = chunk.DistinctValues(leaf_vcol);
 
     // R'(M1): neighbours semijoined with the chunk; v stays in the
@@ -272,6 +281,7 @@ void AcyclicJoin(const std::vector<storage::Relation>& rels,
                  const EmitFn& emit, const AcyclicJoinOptions& options) {
   if (rels.empty()) return;
   extmem::Device* dev = rels.front().device();
+  trace::Span span(dev, "acyclic_join");
 
   std::vector<Relation> input = rels;
   if (options.reduce_first) input = FullyReduce(input);

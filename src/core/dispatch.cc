@@ -8,6 +8,7 @@
 #include "core/unbalanced5.h"
 #include "core/unbalanced7.h"
 #include "query/edge_cover.h"
+#include "trace/tracer.h"
 
 namespace emjoin::core {
 
@@ -24,10 +25,12 @@ void NestedLoopWrap(const Relation& outer, storage::AttrId shared,
                     Assignment* assignment, const EmitFn& user_emit,
                     const std::function<void(const EmitFn&)>& run_inner) {
   extmem::Device* dev = outer.device();
+  trace::Span span(dev, "nested_loop_wrap");
   const std::uint32_t col = *outer.schema().PositionOf(shared);
   extmem::FileReader reader(outer.range());
   storage::MemChunk chunk;
   while (storage::LoadChunk(reader, outer.schema(), dev, dev->M(), &chunk)) {
+    span.Count("nl_chunks", 1);
     run_inner([&](std::span<const Value>) {
       const Value val = assignment->ValueOf(shared);
       chunk.ForEachMatch(col, val, [&](storage::TupleRef t) {
@@ -257,6 +260,7 @@ AutoJoinReport JoinAuto(const std::vector<storage::Relation>& rels,
                         const EmitFn& emit) {
   if (rels.empty()) return {"none", "empty query"};
   extmem::Device* dev = rels.front().device();
+  trace::Span span(dev, "auto_join");
 
   query::JoinQuery q;
   for (const Relation& r : rels) q.AddRelation(r.schema(), r.size());

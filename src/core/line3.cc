@@ -4,6 +4,7 @@
 
 #include "core/pairwise.h"
 #include "core/reduce.h"
+#include "trace/tracer.h"
 
 namespace emjoin::core {
 
@@ -28,6 +29,7 @@ void LineJoin3UnderAssignment(const storage::Relation& r1_in,
   const storage::AttrId v2 = SharedAttr(r1_in, r2_in);
   const storage::AttrId v3 = SharedAttr(r2_in, r3_in);
   extmem::Device* dev = r1_in.device();
+  trace::Span span(dev, "line3");
   const TupleCount m = dev->M();
 
   // Lines 1–3: sort R1, R2 by v2; R3 by v3.
@@ -39,6 +41,8 @@ void LineJoin3UnderAssignment(const storage::Relation& r1_in,
   // Lines 4–7: heavy values of v2 in R1.
   for (storage::GroupCursor cur(r1, v2); !cur.Done(); cur.Advance()) {
     if (cur.group().size() < m) continue;
+    trace::Span heavy_span(dev, "line3.heavy");
+    heavy_span.Count("heavy_values", 1);
     const Value a = cur.value();
     // Line 5: W = R2|v2=a ⋈ R3, merge join, stored on disk. All tuples of
     // R2|v2=a share v2=a, so their v3 values are distinct (set semantics).
@@ -52,6 +56,8 @@ void LineJoin3UnderAssignment(const storage::Relation& r1_in,
   storage::MemChunk chunk(r1.schema(), dev);
   auto flush = [&] {
     if (chunk.empty()) return;
+    trace::Span light_span(dev, "line3.light");
+    light_span.Count("light_chunks", 1);
     const std::vector<Value> vals = chunk.DistinctValues(r1_v2col);
     // Line 9: semijoin R2(M1) = R2 ⋉ M1 (one scan; R1, R2 sorted by v2).
     const storage::Relation r2m = SemiJoinValues(r2, v2, vals);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "extmem/sorter.h"
+#include "trace/tracer.h"
 
 namespace emjoin::core {
 
@@ -52,6 +53,7 @@ struct PartitionedRelation {
 
 PartitionedRelation Partition(const Relation& rel, std::uint64_t p) {
   extmem::Device* dev = rel.device();
+  trace::Span span(dev, "lw.partition");
   const std::uint32_t k = rel.schema().arity();
   PartitionedRelation out;
   out.p = p;
@@ -141,6 +143,7 @@ void LoomisWhitneyJoin(const std::vector<storage::Relation>& rels,
                        const EmitFn& emit) {
   assert(IsLoomisWhitney(rels));
   extmem::Device* dev = rels.front().device();
+  trace::Span span(dev, "lw");
   const std::size_t n = rels.size();
 
   // Attribute universe in a fixed order v_0..v_{n-1}.
@@ -189,6 +192,7 @@ void LoomisWhitneyJoin(const std::vector<storage::Relation>& rels,
     }
 
     if (!any_empty) {
+      span.Count("lw_cells_joined", 1);
       extmem::MemoryReservation res(&dev->gauge(), 0);
       TupleCount loaded = 0;
       const std::uint32_t k = static_cast<std::uint32_t>(n - 1);

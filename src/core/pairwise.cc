@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "trace/tracer.h"
+
 namespace emjoin::core {
 
 namespace {
@@ -29,6 +31,7 @@ void EmitChunkMatches(const storage::MemChunk& chunk,
 void BlockNestedLoopJoin(const Relation& outer, const Relation& inner,
                          Assignment* base, const EmitFn& emit) {
   extmem::Device* dev = outer.device();
+  trace::Count(dev, "bnl_joins");
   extmem::FileReader outer_reader(outer.range());
   storage::MemChunk chunk;
   const std::uint32_t iw = inner.schema().arity();
@@ -102,6 +105,7 @@ void SortMergeJoin(const Relation& r1, const Relation& r2, Assignment* base,
 
 Relation JoinToDisk(const Relation& r1, const Relation& r2) {
   extmem::ScopedIoTag tag(r1.device(), "materialize");
+  trace::Span span(r1.device(), "materialize");
   const storage::Schema joined =
       storage::JoinedSchema(r1.schema(), r2.schema());
   extmem::Device* dev = r1.device();

@@ -4,12 +4,14 @@
 #include <cassert>
 
 #include "query/join_tree.h"
+#include "trace/tracer.h"
 
 namespace emjoin::core {
 
 Relation SemiJoin(const Relation& rel, const Relation& filter,
                   storage::AttrId a) {
   extmem::ScopedIoTag tag(rel.device(), "semijoin");
+  trace::Span span(rel.device(), "semijoin");
   const Relation left = rel.SortedBy(a);
   const Relation right = filter.SortedBy(a);
   const std::uint32_t lcol = *left.schema().PositionOf(a);
@@ -44,12 +46,14 @@ Relation SemiJoin(const Relation& rel, const Relation& filter,
     }
   }
   writer.Finish();
+  span.Count("semijoin_survivors", out->size());
   return Relation(left.schema(), extmem::FileRange(out), a);
 }
 
 Relation SemiJoinValues(const Relation& rel, storage::AttrId a,
                         std::span<const Value> values) {
   extmem::ScopedIoTag tag(rel.device(), "semijoin");
+  trace::Span span(rel.device(), "semijoin.values");
   assert(rel.IsSortedBy(a));
   assert(std::is_sorted(values.begin(), values.end()));
   const std::uint32_t col = *rel.schema().PositionOf(a);
@@ -77,28 +81,38 @@ Relation SemiJoinValues(const Relation& rel, storage::AttrId a,
     }
   }
   writer.Finish();
+  span.Count("semijoin_survivors", out->size());
   return Relation(rel.schema(), extmem::FileRange(out), a);
 }
 
 std::vector<Relation> FullyReduce(const std::vector<Relation>& rels) {
+  if (rels.empty()) return {};
   query::JoinQuery q;
   for (const Relation& r : rels) q.AddRelation(r.schema(), r.size());
   assert(q.IsBergeAcyclic());
   const query::JoinTree tree = query::BuildJoinTree(q);
 
   std::vector<Relation> work = rels;
+  trace::Span span(rels.front().device(), "reduce");
 
   // Upward sweep: children filter parents (bottom-up order).
-  for (query::EdgeId e : tree.bottom_up) {
-    if (tree.parent[e] < 0) continue;
-    const query::EdgeId p = static_cast<query::EdgeId>(tree.parent[e]);
-    work[p] = SemiJoin(work[p], work[e], tree.parent_attr[e]);
+  {
+    trace::Span up(rels.front().device(), "reduce.up");
+    for (query::EdgeId e : tree.bottom_up) {
+      if (tree.parent[e] < 0) continue;
+      const query::EdgeId p = static_cast<query::EdgeId>(tree.parent[e]);
+      work[p] = SemiJoin(work[p], work[e], tree.parent_attr[e]);
+    }
   }
   // Downward sweep: parents filter children (top-down order).
-  for (auto it = tree.bottom_up.rbegin(); it != tree.bottom_up.rend(); ++it) {
-    const query::EdgeId e = *it;
-    for (query::EdgeId c : tree.children[e]) {
-      work[c] = SemiJoin(work[c], work[e], tree.parent_attr[c]);
+  {
+    trace::Span down(rels.front().device(), "reduce.down");
+    for (auto it = tree.bottom_up.rbegin(); it != tree.bottom_up.rend();
+         ++it) {
+      const query::EdgeId e = *it;
+      for (query::EdgeId c : tree.children[e]) {
+        work[c] = SemiJoin(work[c], work[e], tree.parent_attr[c]);
+      }
     }
   }
   return work;

@@ -8,6 +8,7 @@
 
 #include "core/pairwise.h"
 #include "extmem/sorter.h"
+#include "trace/tracer.h"
 
 namespace emjoin::core {
 
@@ -48,6 +49,7 @@ struct PartitionedRelation {
 
 PartitionedRelation Partition(const Relation& rel, std::uint64_t p) {
   extmem::Device* dev = rel.device();
+  trace::Span span(dev, "triangle.partition");
   PartitionedRelation out;
   out.p = p;
 
@@ -132,6 +134,7 @@ class AugmentedChunks {
 void TriangleJoin(const Relation& r1, const Relation& r2, const Relation& r3,
                   const EmitFn& emit) {
   extmem::Device* dev = r1.device();
+  trace::Span span(dev, "triangle");
   const TupleCount m = dev->M();
 
   // Attribute roles: r1 = (a, b), r2 = (a, c), r3 = (b, c).
@@ -188,6 +191,7 @@ void TriangleJoin(const Relation& r1, const Relation& r2, const Relation& r3,
         if (sub2.empty()) continue;
         const extmem::FileRange sub3 = p3.GroupRange(gb, gc);
         if (sub3.empty()) continue;
+        span.Count("triangle_cells_joined", 1);
 
         // Chunked in-memory triple join: heavy groups degrade to more
         // chunk rounds instead of overflowing memory.
@@ -245,6 +249,7 @@ void TriangleViaMaterialization(const Relation& r1, const Relation& r2,
   const AttrId b = SharedAttr(r1, r3);
   const AttrId c = SharedAttr(r2, r3);
 
+  trace::Span span(r1.device(), "triangle.via_materialization");
   const Relation joined = JoinToDisk(r1, r2);
 
   auto sort_lex = [](const Relation& rel, AttrId k1, AttrId k2) {

@@ -6,6 +6,7 @@
 #include "core/pairwise.h"
 #include "core/reduce.h"
 #include "extmem/sorter.h"
+#include "trace/tracer.h"
 
 namespace emjoin::core {
 
@@ -75,6 +76,7 @@ void LineJoinUnbalanced5UnderAssignment(
     const storage::Relation& r1, const storage::Relation& r2,
     const storage::Relation& r3, const storage::Relation& r4,
     const storage::Relation& r5, Assignment* assignment, const EmitFn& emit) {
+  trace::Span span(r1.device(), "line5");
   // Line attributes: r3 = {v3, v4}, shared with r2 and r4 respectively.
   const std::vector<storage::AttrId> c23 =
       r2.schema().CommonAttrs(r3.schema());

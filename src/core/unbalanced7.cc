@@ -5,6 +5,7 @@
 #include "core/acyclic_join.h"
 #include "core/line3.h"
 #include "core/reduce.h"
+#include "trace/tracer.h"
 
 namespace emjoin::core {
 
@@ -13,6 +14,7 @@ void LineJoinUnbalanced7UnderAssignment(
     const EmitFn& emit) {
   assert(rels.size() == 7);
   extmem::Device* dev = rels.front().device();
+  trace::Span span(dev, "line7");
 
   // Line 1: S = R3 ⋈ R4 ⋈ R5, stored on disk. S becomes one hyperedge
   // {v3, v4, v5, v6}; the composed query {R1, R2, S, R6, R7} is an

@@ -5,6 +5,7 @@
 #include "core/pairwise.h"
 #include "core/reduce.h"
 #include "query/join_tree.h"
+#include "trace/tracer.h"
 
 namespace emjoin::core {
 
@@ -12,6 +13,7 @@ YannakakisReport YannakakisJoin(const std::vector<storage::Relation>& rels,
                                 const EmitFn& emit, bool reduce_first) {
   YannakakisReport report;
   if (rels.empty()) return report;
+  trace::Span span(rels.front().device(), "yannakakis");
 
   std::vector<storage::Relation> work = rels;
   if (reduce_first) work = FullyReduce(work);
@@ -23,21 +25,28 @@ YannakakisReport YannakakisJoin(const std::vector<storage::Relation>& rels,
   // Bottom-up pairwise joins: each child's accumulated result is joined
   // into its parent, materialized on disk.
   std::vector<storage::Relation> acc = work;
-  for (query::EdgeId e : tree.bottom_up) {
-    if (tree.parent[e] < 0) continue;
-    const query::EdgeId p = static_cast<query::EdgeId>(tree.parent[e]);
-    acc[p] = JoinToDisk(acc[p], acc[e]);
-    report.intermediate_tuples += acc[p].size();
-  }
+  {
+    trace::Span join_span(rels.front().device(), "yannakakis.join");
+    for (query::EdgeId e : tree.bottom_up) {
+      if (tree.parent[e] < 0) continue;
+      const query::EdgeId p = static_cast<query::EdgeId>(tree.parent[e]);
+      acc[p] = JoinToDisk(acc[p], acc[e]);
+      report.intermediate_tuples += acc[p].size();
+    }
 
-  // Combine the roots (cross products for disconnected queries).
-  storage::Relation final_rel = acc[tree.roots.front()];
-  for (std::size_t i = 1; i < tree.roots.size(); ++i) {
-    final_rel = JoinToDisk(final_rel, acc[tree.roots[i]]);
-    report.intermediate_tuples += final_rel.size();
+    // Combine the roots (cross products for disconnected queries).
+    for (std::size_t i = 1; i < tree.roots.size(); ++i) {
+      acc[tree.roots.front()] =
+          JoinToDisk(acc[tree.roots.front()], acc[tree.roots[i]]);
+      report.intermediate_tuples += acc[tree.roots.front()].size();
+    }
+    join_span.Count("intermediate_tuples", report.intermediate_tuples);
   }
+  const storage::Relation final_rel = acc[tree.roots.front()];
 
   // Emit phase: one scan of the final result.
+  trace::Span emit_span(rels.front().device(), "yannakakis.emit");
+  std::uint64_t emitted = 0;
   Assignment assignment(MakeResultSchema(rels));
   const std::uint32_t w = final_rel.schema().arity();
   extmem::FileReader reader(final_rel.range());
@@ -47,8 +56,10 @@ YannakakisReport YannakakisJoin(const std::vector<storage::Relation>& rels,
          t += w) {
       assignment.Bind(final_rel.schema(), t);
       emit(assignment.values());
+      ++emitted;
     }
   }
+  emit_span.Count("emitted", emitted);
   return report;
 }
 

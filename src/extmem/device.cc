@@ -31,6 +31,10 @@ std::string Device::TagReport() const {
     out += "=";
     out += std::to_string(stats.total());
   }
+  const IoStats sum = Total(per_tag_);
+  if (!out.empty()) {
+    out += " (total=" + std::to_string(sum.total()) + ")";
+  }
   return out;
 }
 

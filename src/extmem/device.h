@@ -12,6 +12,10 @@
 #include "extmem/io_stats.h"
 #include "extmem/memory_gauge.h"
 
+namespace emjoin::trace {
+class Tracer;
+}  // namespace emjoin::trace
+
 namespace emjoin::extmem {
 
 class DiskFile;
@@ -83,6 +87,17 @@ class Device {
   /// Human-readable per-tag breakdown.
   std::string TagReport() const;
 
+  /// Optional tracer hook. When a tracer is attached, trace::Span RAII
+  /// scopes opened against this device snapshot stats()/gauge() and the
+  /// per-tag breakdown, so per-span and per-tag attribution stay
+  /// consistent (tag deltas become span attributes). Detached (nullptr,
+  /// the default) keeps the disabled tracing path to one branch per
+  /// span. The tracer observes charges only at span boundaries and never
+  /// alters them: block counts are identical with and without a tracer
+  /// (pinned by io_invariance tests).
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+
  private:
   TupleCount memory_tuples_;
   TupleCount block_tuples_;
@@ -102,6 +117,7 @@ class Device {
   const char* tag_ = "scan";
   IoStats* tag_entry_ = nullptr;
   std::map<std::string, IoStats, std::less<>> per_tag_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 /// RAII I/O-attribution scope: all charges on `device` between

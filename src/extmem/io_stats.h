@@ -17,6 +17,18 @@ struct IoStats {
 
   std::uint64_t total() const { return block_reads + block_writes; }
 
+  IoStats& operator+=(const IoStats& other) {
+    block_reads += other.block_reads;
+    block_writes += other.block_writes;
+    return *this;
+  }
+
+  IoStats operator+(const IoStats& other) const {
+    IoStats s = *this;
+    s += other;
+    return s;
+  }
+
   IoStats operator-(const IoStats& other) const {
     IoStats d;
     d.block_reads = block_reads - other.block_reads;
@@ -24,8 +36,25 @@ struct IoStats {
     return d;
   }
 
+  bool operator==(const IoStats& other) const = default;
+
   std::string ToString() const;
 };
+
+/// Sum of a range of IoStats, or of the mapped values of a per-tag
+/// breakdown (any range of pairs whose second member is IoStats).
+template <typename Range>
+IoStats Total(const Range& range) {
+  IoStats sum;
+  for (const auto& entry : range) {
+    if constexpr (requires { entry.second; }) {
+      sum += entry.second;
+    } else {
+      sum += entry;
+    }
+  }
+  return sum;
+}
 
 }  // namespace emjoin::extmem
 

@@ -3,6 +3,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <vector>
 
 #include "extmem/defs.h"
 
@@ -28,6 +29,9 @@ class MemoryGauge {
   void Acquire(TupleCount tuples) {
     resident_ += tuples;
     if (resident_ > high_water_) high_water_ = resident_;
+    if (!marks_.empty() && resident_ > marks_.back()) {
+      marks_.back() = resident_;
+    }
   }
 
   void Release(TupleCount tuples) {
@@ -46,10 +50,29 @@ class MemoryGauge {
 
   void ResetHighWater() { high_water_ = resident_; }
 
+  /// Scoped watermarks (used by trace::Tracer for per-span peaks).
+  ///
+  /// PushWatermark opens a scope whose local high water starts at the
+  /// current resident count; PopWatermark closes the innermost scope and
+  /// returns the maximum resident count observed while it was open.
+  /// Closing a scope folds its peak into the enclosing scope, so nested
+  /// spans see peaks reached inside their children. Scopes must be
+  /// strictly nested (push/pop in LIFO order).
+  void PushWatermark() { marks_.push_back(resident_); }
+
+  TupleCount PopWatermark() {
+    assert(!marks_.empty());
+    const TupleCount peak = marks_.back();
+    marks_.pop_back();
+    if (!marks_.empty() && peak > marks_.back()) marks_.back() = peak;
+    return peak;
+  }
+
  private:
   TupleCount memory_tuples_;
   TupleCount resident_ = 0;
   TupleCount high_water_ = 0;
+  std::vector<TupleCount> marks_;
 };
 
 /// RAII accounting of a block of tuples held in simulated memory.

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "trace/tracer.h"
+
 namespace emjoin::extmem {
 
 int CompareTuples(const Value* a, const Value* b, std::uint32_t width,
@@ -759,20 +761,30 @@ FilePtr ExternalSort(const FileRange& input,
                      std::span<const std::uint32_t> key_cols) {
   Device* dev = input.file->device();
   ScopedIoTag tag(dev, "sort");
+  trace::Span span(dev, "sort");
   const std::uint32_t w = input.width();
 
   if (input.empty()) return dev->NewFile(w);
 
-  std::vector<FilePtr> runs = FormRuns(input, key_cols);
+  std::vector<FilePtr> runs;
+  {
+    trace::Span run_span(dev, "sort.runs");
+    runs = FormRuns(input, key_cols);
+    run_span.Count("runs_formed", runs.size());
+  }
   const std::uint64_t fan_in = std::max<std::uint64_t>(2, dev->M() / dev->B());
 
   while (runs.size() > 1) {
+    trace::Span pass_span(dev, "sort.merge_pass");
+    span.Count("merge_passes", 1);
     std::vector<FilePtr> next;
     for (std::size_t i = 0; i < runs.size(); i += fan_in) {
       const std::size_t end = std::min(runs.size(), i + fan_in);
       if (end - i == 1) {
         next.push_back(runs[i]);
       } else {
+        pass_span.Count("merge_groups", 1);
+        pass_span.Count("merge_fanin", end - i);
         next.push_back(MergeGroup(
             dev, std::span<const FilePtr>(runs.data() + i, end - i), w,
             key_cols));

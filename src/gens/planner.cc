@@ -8,6 +8,8 @@
 #include <memory>
 #include <string>
 
+#include "trace/tracer.h"
+
 namespace emjoin::gens {
 
 namespace {
@@ -87,9 +89,11 @@ LeafChooser CostGuidedChooser(TupleCount M, TupleCount B) {
   // differences never flip an asymptotically meaningful choice.
   auto cache = std::make_shared<std::map<std::string, std::size_t>>();
   return [M, B, cache](const JoinQuery& live,
-                       const std::vector<storage::Relation>&,
+                       const std::vector<storage::Relation>& rels,
                        const std::vector<EdgeId>& candidates) -> std::size_t {
     assert(!candidates.empty());
+    extmem::Device* dev = rels.empty() ? nullptr : rels.front().device();
+    if (dev != nullptr) trace::Count(dev, "chooser_calls");
     if (candidates.size() == 1) return 0;
     // Beyond ~8 edges the GenS enumeration itself becomes the bottleneck
     // (and the paper's optimality frontier ends at n = 8 anyway); fall
@@ -110,7 +114,11 @@ LeafChooser CostGuidedChooser(TupleCount M, TupleCount B) {
       key += std::to_string(c);
       key += ',';
     }
-    if (auto it = cache->find(key); it != cache->end()) return it->second;
+    if (auto it = cache->find(key); it != cache->end()) {
+      if (dev != nullptr) trace::Count(dev, "chooser_cache_hits");
+      return it->second;
+    }
+    if (dev != nullptr) trace::Count(dev, "chooser_evals");
 
     std::size_t best_idx = 0;
     long double best = 0.0L;

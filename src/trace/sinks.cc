@@ -1,0 +1,194 @@
+#include "trace/sinks.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace emjoin::trace {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string U64(std::uint64_t v) { return std::to_string(v); }
+
+std::string Ld(long double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3Lf", v);
+  return buf;
+}
+
+// {"tag": {"reads": r, "writes": w}, ...}
+std::string TagsJson(
+    const std::map<std::string, extmem::IoStats, std::less<>>& tags) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [tag, st] : tags) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(tag) + "\": {\"reads\": " + U64(st.block_reads) +
+           ", \"writes\": " + U64(st.block_writes) + "}";
+  }
+  return out + "}";
+}
+
+std::string CountersJson(
+    const std::map<std::string, std::uint64_t, std::less<>>& counters) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + U64(v);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string TreeReport(const Tracer& tracer) {
+  const std::vector<SpanRecord>& spans = tracer.spans();
+  std::string out =
+      "trace: " + std::to_string(spans.size()) +
+      " spans (incl = block I/Os inside span, excl = minus children, % = "
+      "share of parent)\n";
+  for (const SpanRecord& s : spans) {
+    const extmem::IoStats excl = s.exclusive();
+    std::string line(static_cast<std::size_t>(s.depth) * 2, ' ');
+    line += s.name;
+    line += "  incl=" + U64(s.inclusive.total()) +
+            " (r=" + U64(s.inclusive.block_reads) +
+            " w=" + U64(s.inclusive.block_writes) + ")";
+    line += " excl=" + U64(excl.total());
+    if (s.parent != kNoSpan) {
+      const std::uint64_t p = spans[s.parent].inclusive.total();
+      char pct[32];
+      std::snprintf(pct, sizeof pct, "%.1f%%",
+                    p == 0 ? 0.0
+                           : 100.0 * static_cast<double>(s.inclusive.total()) /
+                                 static_cast<double>(p));
+      line += " (";
+      line += pct;
+      line += " of parent)";
+    }
+    line += " peak_mem=" + U64(s.peak_resident);
+    for (const auto& [name, v] : s.counters) {
+      line += " " + name + "=" + U64(v);
+    }
+    if (s.has_expect()) {
+      line += " expect=" + Ld(s.expect_ios);
+      if (s.expect_ios > 0.0L) {
+        line += " meas/exp=" +
+                Ld(static_cast<long double>(s.inclusive.total()) /
+                   s.expect_ios);
+      }
+    }
+    if (!s.closed) line += " [UNCLOSED]";
+    out += line + "\n";
+  }
+  if (!tracer.totals().empty()) {
+    out += "counters:";
+    for (const auto& [name, v] : tracer.totals()) {
+      out += " " + name + "=" + U64(v);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+bool WriteJsonl(const Tracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"event\": \"meta\", \"spans\": %zu}\n",
+               tracer.spans().size());
+  for (SpanId id = 0; id < tracer.spans().size(); ++id) {
+    const SpanRecord& s = tracer.spans()[id];
+    const extmem::IoStats excl = s.exclusive();
+    std::string line = "{\"event\": \"span\", \"id\": " + U64(id) +
+                       ", \"parent\": " +
+                       (s.parent == kNoSpan ? std::string("-1")
+                                            : U64(s.parent)) +
+                       ", \"depth\": " + U64(s.depth) + ", \"name\": \"" +
+                       JsonEscape(s.name) + "\"";
+    line += ", \"open_clock\": " + U64(s.open_clock);
+    line += ", \"reads\": " + U64(s.inclusive.block_reads) +
+            ", \"writes\": " + U64(s.inclusive.block_writes);
+    line += ", \"excl_reads\": " + U64(excl.block_reads) +
+            ", \"excl_writes\": " + U64(excl.block_writes);
+    line += ", \"peak_resident\": " + U64(s.peak_resident);
+    line += ", \"tags\": " + TagsJson(s.by_tag);
+    line += ", \"counters\": " + CountersJson(s.counters);
+    if (s.has_expect()) {
+      line += ", \"expect_ios\": " + Ld(s.expect_ios);
+    }
+    if (!s.closed) line += ", \"unclosed\": true";
+    line += "}";
+    std::fprintf(f, "%s\n", line.c_str());
+  }
+  std::fprintf(f, "{\"event\": \"totals\", \"counters\": %s}\n",
+               CountersJson(tracer.totals()).c_str());
+  std::fclose(f);
+  return true;
+}
+
+bool WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  std::fprintf(
+      f,
+      "  {\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"emjoin (1 us = 1 block I/O)\"}}");
+  for (SpanId id = 0; id < tracer.spans().size(); ++id) {
+    const SpanRecord& s = tracer.spans()[id];
+    const extmem::IoStats excl = s.exclusive();
+    std::string args = "{\"reads\": " + U64(s.inclusive.block_reads) +
+                       ", \"writes\": " + U64(s.inclusive.block_writes) +
+                       ", \"excl_ios\": " + U64(excl.total()) +
+                       ", \"peak_resident\": " + U64(s.peak_resident);
+    if (!s.by_tag.empty()) args += ", \"tags\": " + TagsJson(s.by_tag);
+    if (!s.counters.empty()) {
+      args += ", \"counters\": " + CountersJson(s.counters);
+    }
+    if (s.has_expect()) {
+      args += ", \"expect_ios\": " + Ld(s.expect_ios);
+      if (s.expect_ios > 0.0L) {
+        args += ", \"io_ratio\": " +
+                Ld(static_cast<long double>(s.inclusive.total()) /
+                   s.expect_ios);
+      }
+    }
+    args += "}";
+    std::fprintf(f,
+                 ",\n  {\"name\": \"%s\", \"cat\": \"emjoin\", \"ph\": \"X\", "
+                 "\"ts\": %" PRIu64 ", \"dur\": %" PRIu64
+                 ", \"pid\": 1, \"tid\": 1, \"args\": %s}",
+                 JsonEscape(s.name).c_str(), s.open_clock,
+                 s.inclusive.total(), args.c_str());
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace emjoin::trace

@@ -1,0 +1,35 @@
+#ifndef EMJOIN_TRACE_SINKS_H_
+#define EMJOIN_TRACE_SINKS_H_
+
+#include <string>
+
+#include "trace/tracer.h"
+
+namespace emjoin::trace {
+
+/// Human-readable span tree: one indented line per span with inclusive
+/// and exclusive block I/Os, the inclusive share of the parent, per-span
+/// peak resident tuples, counters, and (when annotated via
+/// Span::ExpectIos) the measured/expected I/O ratio. A footer lists the
+/// process-wide counter totals.
+std::string TreeReport(const Tracer& tracer);
+
+/// One JSON object per line: a meta line, every span in open order
+/// (fields: id, parent [-1 for roots], depth, name, open_clock, reads,
+/// writes, excl_reads, excl_writes, peak_resident, tags, counters,
+/// expect_ios), and a closing totals line. Returns false if `path`
+/// cannot be opened.
+bool WriteJsonl(const Tracer& tracer, const std::string& path);
+
+/// Chrome trace_event JSON (load in Perfetto or chrome://tracing). Every
+/// span becomes a complete ("ph":"X") event whose timestamp is the
+/// cumulative charged I/O at open and whose duration is the span's
+/// inclusive block I/Os — the timeline renders the Aggarwal-Vitter cost
+/// model, not wall time. Span attributes (per-tag deltas, counters, peak
+/// memory, expected-cost ratio) ride in "args". Returns false if `path`
+/// cannot be opened.
+bool WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+}  // namespace emjoin::trace
+
+#endif  // EMJOIN_TRACE_SINKS_H_

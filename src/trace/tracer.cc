@@ -1,0 +1,85 @@
+#include "trace/tracer.h"
+
+#include <cassert>
+
+namespace emjoin::trace {
+
+SpanId Tracer::OpenSpan(extmem::Device* dev, const char* name) {
+  assert(dev != nullptr);
+  const SpanId id = static_cast<SpanId>(spans_.size());
+
+  SpanRecord rec;
+  rec.name = name;
+  if (!stack_.empty()) {
+    rec.parent = stack_.back().id;
+    rec.depth = spans_[rec.parent].depth + 1;
+  } else {
+    // A root span anchors its device's cumulative-I/O timeline at the
+    // current global clock, so successive root spans (possibly on fresh
+    // devices) occupy successive timeline intervals.
+    clock_base_[dev] = clock_ - dev->stats().total();
+  }
+  rec.open_clock = clock_base_[dev] + dev->stats().total();
+  spans_.push_back(std::move(rec));
+
+  Frame frame;
+  frame.id = id;
+  frame.dev = dev;
+  frame.open_io = dev->stats();
+  frame.open_tags = dev->per_tag();
+  stack_.push_back(std::move(frame));
+  dev->gauge().PushWatermark();
+  return id;
+}
+
+void Tracer::CloseSpan(SpanId id) {
+  assert(!stack_.empty());
+  assert(stack_.back().id == id && "spans must close in LIFO order");
+  const Frame& frame = stack_.back();
+  extmem::Device* dev = frame.dev;
+  SpanRecord& rec = spans_[id];
+
+  rec.inclusive = dev->stats() - frame.open_io;
+  rec.peak_resident = dev->gauge().PopWatermark();
+  for (const auto& [tag, now] : dev->per_tag()) {
+    extmem::IoStats delta = now;
+    if (const auto it = frame.open_tags.find(tag);
+        it != frame.open_tags.end()) {
+      delta = now - it->second;
+    }
+    if (delta.total() != 0) rec.by_tag.emplace(tag, delta);
+  }
+  rec.closed = true;
+  stack_.pop_back();
+
+  if (rec.parent != kNoSpan) {
+    spans_[rec.parent].child_sum += rec.inclusive;
+  }
+  const std::uint64_t end_clock = rec.open_clock + rec.inclusive.total();
+  if (end_clock > clock_) clock_ = end_clock;
+}
+
+void Tracer::AddCount(std::string_view name, std::uint64_t delta) {
+  if (!stack_.empty()) {
+    auto& counters = spans_[stack_.back().id].counters;
+    const auto it = counters.find(name);
+    if (it != counters.end()) {
+      it->second += delta;
+    } else {
+      counters.emplace(std::string(name), delta);
+    }
+  }
+  const auto it = totals_.find(name);
+  if (it != totals_.end()) {
+    it->second += delta;
+  } else {
+    totals_.emplace(std::string(name), delta);
+  }
+}
+
+void Tracer::ExpectIos(SpanId id, long double ios) {
+  assert(id < spans_.size());
+  spans_[id].expect_ios = ios;
+}
+
+}  // namespace emjoin::trace

@@ -140,6 +140,89 @@ TEST(MemoryGaugeTest, ReservationResizeAndMove) {
   EXPECT_EQ(gauge.resident(), 5u);
 }
 
+TEST(MemoryGaugeTest, HighWaterUnderNestedReservations) {
+  MemoryGauge gauge(100);
+  {
+    MemoryReservation a(&gauge, 20);
+    {
+      MemoryReservation b(&gauge, 30);
+      MemoryReservation c(&gauge, 10);
+      EXPECT_EQ(gauge.resident(), 60u);
+    }
+    EXPECT_EQ(gauge.high_water(), 60u);
+    // A later, smaller burst must not lower the watermark.
+    MemoryReservation d(&gauge, 15);
+    EXPECT_EQ(gauge.high_water(), 60u);
+  }
+  EXPECT_EQ(gauge.resident(), 0u);
+  EXPECT_EQ(gauge.high_water(), 60u);
+}
+
+TEST(MemoryGaugeTest, WatermarkScopesTrackLocalPeaksAndFoldUpward) {
+  MemoryGauge gauge(100);
+  MemoryReservation ambient(&gauge, 10);
+  gauge.PushWatermark();  // outer scope, starts at 10
+  { MemoryReservation a(&gauge, 25); }  // outer-only peak: 35
+  gauge.PushWatermark();  // inner scope, starts at 10
+  { MemoryReservation b(&gauge, 5); }
+  EXPECT_EQ(gauge.PopWatermark(), 15u);  // inner peak
+  // The inner peak (15) is below the outer's own 35; folding keeps 35.
+  EXPECT_EQ(gauge.PopWatermark(), 35u);
+
+  // A child peak above the parent's own folds upward on pop.
+  gauge.PushWatermark();
+  gauge.PushWatermark();
+  { MemoryReservation c(&gauge, 80); }
+  EXPECT_EQ(gauge.PopWatermark(), 90u);
+  EXPECT_EQ(gauge.PopWatermark(), 90u);
+
+  // Watermark scopes never disturb the global high water.
+  EXPECT_EQ(gauge.high_water(), 90u);
+}
+
+TEST(DeviceTest, ScopedIoTagRestoredOnUnwind) {
+  Device dev(64, 8);
+  dev.ChargeReadBlocks(1);  // default tag: "scan"
+  {
+    ScopedIoTag sort(&dev, "sort");
+    dev.ChargeReadBlocks(2);
+    {
+      ScopedIoTag semi(&dev, "semijoin");
+      dev.ChargeWriteBlocks(3);
+    }
+    // Inner scope unwound: charges attribute to "sort" again.
+    dev.ChargeReadBlocks(4);
+  }
+  // All scopes unwound: back to the default tag.
+  dev.ChargeWriteBlocks(5);
+
+  const auto& tags = dev.per_tag();
+  ASSERT_EQ(tags.size(), 3u);
+  EXPECT_EQ(tags.at("scan"), (IoStats{1, 5}));
+  EXPECT_EQ(tags.at("sort"), (IoStats{6, 0}));
+  EXPECT_EQ(tags.at("semijoin"), (IoStats{0, 3}));
+  // The per-tag breakdown decomposes stats() exactly.
+  EXPECT_EQ(Total(tags), dev.stats());
+}
+
+TEST(DeviceTest, SameContentTagsFromDifferentSitesMerge) {
+  Device dev(64, 8);
+  // Distinct string objects with equal content must share one row, as
+  // when two translation units both tag their charges "sort".
+  const std::string site_a = "sort";
+  const std::string site_b = std::string("so") + "rt";
+  {
+    ScopedIoTag tag(&dev, site_a.c_str());
+    dev.ChargeReadBlocks(2);
+  }
+  {
+    ScopedIoTag tag(&dev, site_b.c_str());
+    dev.ChargeReadBlocks(3);
+  }
+  ASSERT_EQ(dev.per_tag().count("sort"), 1u);
+  EXPECT_EQ(dev.per_tag().at("sort"), (IoStats{5, 0}));
+}
+
 class SorterTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {
 };
 

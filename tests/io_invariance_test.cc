@@ -21,6 +21,7 @@
 #include "extmem/sorter.h"
 #include "query/hypergraph.h"
 #include "storage/relation.h"
+#include "trace/tracer.h"
 #include "workload/constructions.h"
 #include "workload/random_instance.h"
 
@@ -150,6 +151,45 @@ TEST(IoInvariance, Line3JoinPipeline) {
   ExpectTag(tags, "scan", 896, 192);
   ExpectTag(tags, "semijoin", 721, 320);
   ExpectTag(tags, "sort", 960, 960);
+}
+
+// The tracer is an observer: attaching one must change zero block
+// charges. Rerun Golden C with a tracer attached and pin the exact same
+// totals and per-tag counts — and, since we have the span tree, assert
+// that the root spans' inclusive I/O accounts for every charge of the
+// join, i.e. the trace is a lossless decomposition of stats().
+TEST(IoInvariance, TracerChangesNoCharges) {
+  extmem::Device dev(256, 16);
+  trace::Tracer tracer;
+  dev.set_tracer(&tracer);
+  const query::JoinQuery q = query::JoinQuery::Line(3);
+  workload::RandomOptions opt;
+  opt.seed = 7;
+  opt.domain_size = 32;
+  std::vector<storage::Relation> rels =
+      workload::RandomInstance(&dev, q, {3000, 2000, 3000}, opt);
+  const extmem::IoStats before_join = dev.stats();
+  core::CountingSink sink;
+  core::LineJoin3(rels[0], rels[1], rels[2], sink.AsEmitFn());
+
+  // Bit-identical to IoInvariance.Line3JoinPipeline (tracer detached).
+  EXPECT_EQ(sink.count(), 1048576u);
+  EXPECT_EQ(dev.stats().block_reads, 2577u);
+  EXPECT_EQ(dev.stats().block_writes, 1472u);
+  const auto tags = MergedTags(dev);
+  ExpectTag(tags, "scan", 896, 192);
+  ExpectTag(tags, "semijoin", 721, 320);
+  ExpectTag(tags, "sort", 960, 960);
+
+  // The join ran under root spans (the loading above is untraced);
+  // their inclusive I/O must sum to exactly the join's stats() delta.
+  extmem::IoStats roots;
+  for (const auto& span : tracer.spans()) {
+    EXPECT_TRUE(span.closed);
+    if (span.parent == trace::kNoSpan) roots += span.inclusive;
+  }
+  EXPECT_FALSE(tracer.spans().empty());
+  EXPECT_EQ(roots, dev.stats() - before_join);
 }
 
 // Fan-in past the cascade limit routes through the loser tree: M=64 B=2

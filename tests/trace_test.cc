@@ -1,0 +1,403 @@
+// Tests for the src/trace/ observability subsystem: IoStats algebra,
+// span hierarchy roll-ups, per-tag attribution, per-span memory peaks,
+// counters, expected-cost annotations, and the three sinks.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/emit.h"
+#include "core/line3.h"
+#include "extmem/device.h"
+#include "extmem/io_stats.h"
+#include "query/hypergraph.h"
+#include "storage/relation.h"
+#include "trace/sinks.h"
+#include "trace/tracer.h"
+#include "workload/random_instance.h"
+
+namespace emjoin {
+namespace {
+
+using extmem::IoStats;
+
+// --- IoStats algebra ---
+
+TEST(IoStatsAlgebra, PlusAndPlusEquals) {
+  IoStats a{3, 5};
+  const IoStats b{10, 1};
+  const IoStats sum = a + b;
+  EXPECT_EQ(sum.block_reads, 13u);
+  EXPECT_EQ(sum.block_writes, 6u);
+  a += b;
+  EXPECT_EQ(a, sum);
+  EXPECT_EQ(sum.total(), 19u);
+}
+
+TEST(IoStatsAlgebra, TotalOverMapAndVector) {
+  const std::map<std::string, IoStats> tagged = {
+      {"scan", {1, 2}}, {"sort", {30, 40}}, {"semijoin", {500, 600}}};
+  const IoStats from_map = extmem::Total(tagged);
+  EXPECT_EQ(from_map.block_reads, 531u);
+  EXPECT_EQ(from_map.block_writes, 642u);
+
+  const std::vector<IoStats> flat = {{1, 2}, {3, 4}};
+  const IoStats from_vec = extmem::Total(flat);
+  EXPECT_EQ(from_vec, (IoStats{4, 6}));
+}
+
+TEST(IoStatsAlgebra, TagReportIncludesGrandTotal) {
+  extmem::Device dev(64, 8);
+  {
+    extmem::ScopedIoTag tag(&dev, "sort");
+    dev.ChargeReadBlocks(4);
+  }
+  dev.ChargeWriteBlocks(2);
+  const std::string report = dev.TagReport();
+  EXPECT_NE(report.find("total=6"), std::string::npos) << report;
+}
+
+// --- Span hierarchy ---
+
+TEST(Tracer, DisabledPathRecordsNothing) {
+  extmem::Device dev(64, 8);
+  ASSERT_EQ(dev.tracer(), nullptr);
+  trace::Span span(&dev, "ghost");
+  EXPECT_FALSE(span.enabled());
+  span.Count("ignored", 3);
+  trace::Count(&dev, "also_ignored");
+  dev.ChargeReadBlocks(1);  // must not crash or attribute anywhere
+}
+
+TEST(Tracer, HierarchicalInclusiveExclusiveDeltas) {
+  extmem::Device dev(64, 8);
+  trace::Tracer tracer;
+  dev.set_tracer(&tracer);
+  {
+    trace::Span root(&dev, "root");
+    dev.ChargeReadBlocks(5);
+    {
+      trace::Span child(&dev, "child");
+      dev.ChargeWriteBlocks(3);
+      {
+        trace::Span grand(&dev, "grand");
+        dev.ChargeReadBlocks(2);
+      }
+    }
+    dev.ChargeWriteBlocks(1);
+  }
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  const auto& root = spans[0];
+  const auto& child = spans[1];
+  const auto& grand = spans[2];
+
+  EXPECT_STREQ(root.name, "root");
+  EXPECT_EQ(root.parent, trace::kNoSpan);
+  EXPECT_EQ(root.depth, 0u);
+  EXPECT_EQ(child.parent, 0u);
+  EXPECT_EQ(child.depth, 1u);
+  EXPECT_EQ(grand.parent, 1u);
+  EXPECT_EQ(grand.depth, 2u);
+
+  EXPECT_EQ(root.inclusive, (IoStats{7, 4}));
+  EXPECT_EQ(root.child_sum, child.inclusive);
+  EXPECT_EQ(root.exclusive(), (IoStats{5, 1}));
+
+  EXPECT_EQ(child.inclusive, (IoStats{2, 3}));
+  EXPECT_EQ(child.child_sum, grand.inclusive);
+  EXPECT_EQ(child.exclusive(), (IoStats{0, 3}));
+
+  EXPECT_EQ(grand.inclusive, (IoStats{2, 0}));
+  EXPECT_EQ(grand.exclusive(), grand.inclusive);
+
+  // The root span covers every charge on the device.
+  EXPECT_EQ(root.inclusive, dev.stats());
+  for (const auto& s : spans) EXPECT_TRUE(s.closed);
+}
+
+TEST(Tracer, SiblingSpansSumIntoParent) {
+  extmem::Device dev(64, 8);
+  trace::Tracer tracer;
+  dev.set_tracer(&tracer);
+  {
+    trace::Span root(&dev, "root");
+    for (int i = 0; i < 3; ++i) {
+      trace::Span child(&dev, "child");
+      dev.ChargeReadBlocks(2);
+    }
+  }
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].child_sum, (IoStats{6, 0}));
+  EXPECT_EQ(spans[0].inclusive, (IoStats{6, 0}));
+  EXPECT_EQ(spans[0].exclusive(), (IoStats{0, 0}));
+}
+
+TEST(Tracer, OpenClockIsCumulativeIoAtOpen) {
+  extmem::Device dev(64, 8);
+  trace::Tracer tracer;
+  dev.set_tracer(&tracer);
+  {
+    trace::Span a(&dev, "a");
+    dev.ChargeReadBlocks(10);
+  }
+  {
+    trace::Span b(&dev, "b");
+    dev.ChargeWriteBlocks(4);
+  }
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[0].open_clock, 0u);
+  // b opens after a charged 10 blocks.
+  EXPECT_EQ(tracer.spans()[1].open_clock, 10u);
+
+  // A fresh device continues the global timeline rather than rewinding.
+  extmem::Device dev2(64, 8);
+  dev2.set_tracer(&tracer);
+  {
+    trace::Span c(&dev2, "c");
+    dev2.ChargeReadBlocks(1);
+  }
+  EXPECT_EQ(tracer.spans()[2].open_clock, 14u);
+}
+
+// --- Per-tag attribution ---
+
+TEST(Tracer, SpanTagDeltasMatchPerTagBreakdown) {
+  extmem::Device dev(64, 8);
+  trace::Tracer tracer;
+  dev.set_tracer(&tracer);
+  dev.ChargeReadBlocks(100);  // pre-span charges must not leak in
+  {
+    trace::Span span(&dev, "phase");
+    {
+      extmem::ScopedIoTag tag(&dev, "sort");
+      dev.ChargeReadBlocks(4);
+      dev.ChargeWriteBlocks(6);
+    }
+    dev.ChargeWriteBlocks(2);  // default tag: "scan"
+  }
+  const auto& span = tracer.spans()[0];
+  ASSERT_EQ(span.by_tag.size(), 2u);
+  EXPECT_EQ(span.by_tag.at("sort"), (IoStats{4, 6}));
+  EXPECT_EQ(span.by_tag.at("scan"), (IoStats{0, 2}));
+  // Tag deltas decompose the inclusive I/O exactly.
+  EXPECT_EQ(extmem::Total(span.by_tag), span.inclusive);
+}
+
+// --- Memory peaks ---
+
+TEST(Tracer, PeakResidentPerSpanWithParentFold) {
+  extmem::Device dev(64, 8);
+  trace::Tracer tracer;
+  dev.set_tracer(&tracer);
+  extmem::MemoryReservation ambient(&dev.gauge(), 10);
+  {
+    trace::Span root(&dev, "root");
+    { extmem::MemoryReservation r(&dev.gauge(), 20); }  // root-only peak 30
+    {
+      trace::Span child(&dev, "child");
+      extmem::MemoryReservation r(&dev.gauge(), 5);  // child peak 15
+    }
+  }
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].peak_resident, 30u);
+  EXPECT_EQ(spans[1].peak_resident, 15u);
+  // A child's peak above the parent's own folds upward.
+  extmem::Device dev2(64, 8);
+  dev2.set_tracer(&tracer);
+  {
+    trace::Span root(&dev2, "root2");
+    trace::Span child(&dev2, "child2");
+    extmem::MemoryReservation r(&dev2.gauge(), 40);
+  }
+  EXPECT_EQ(tracer.spans()[2].peak_resident, 40u);
+  EXPECT_EQ(tracer.spans()[3].peak_resident, 40u);
+}
+
+// --- Counters ---
+
+TEST(Tracer, CountersAttributeToInnermostSpanAndTotals) {
+  extmem::Device dev(64, 8);
+  trace::Tracer tracer;
+  dev.set_tracer(&tracer);
+  {
+    trace::Span root(&dev, "root");
+    root.Count("steps", 1);
+    {
+      trace::Span child(&dev, "child");
+      // Bumped through the root's handle while the child is innermost:
+      // attribution follows the open stack, not the handle.
+      root.Count("steps", 2);
+      trace::Count(&dev, "widgets", 5);
+    }
+    root.Count("steps", 4);
+  }
+  trace::Count(&dev, "widgets", 1);  // no open span: totals only
+  const auto& spans = tracer.spans();
+  EXPECT_EQ(spans[0].counters.at("steps"), 5u);
+  EXPECT_EQ(spans[1].counters.at("steps"), 2u);
+  EXPECT_EQ(spans[1].counters.at("widgets"), 5u);
+  EXPECT_EQ(tracer.totals().at("steps"), 7u);
+  EXPECT_EQ(tracer.totals().at("widgets"), 6u);
+}
+
+// --- Expected-cost annotations ---
+
+TEST(Tracer, ExpectIosAnnotation) {
+  extmem::Device dev(64, 8);
+  trace::Tracer tracer;
+  dev.set_tracer(&tracer);
+  {
+    trace::Span span(&dev, "phase");
+    span.ExpectIos(128.0L);
+    dev.ChargeReadBlocks(96);
+  }
+  const auto& rec = tracer.spans()[0];
+  ASSERT_TRUE(rec.has_expect());
+  EXPECT_DOUBLE_EQ(static_cast<double>(rec.expect_ios), 128.0);
+  EXPECT_EQ(rec.inclusive.total(), 96u);
+  // Unannotated spans report no expectation.
+  {
+    trace::Span other(&dev, "other");
+  }
+  EXPECT_FALSE(tracer.spans()[1].has_expect());
+}
+
+// --- Sinks ---
+
+class SinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = std::make_unique<extmem::Device>(64, 8);
+    dev_->set_tracer(&tracer_);
+    trace::Span root(dev_.get(), "root");
+    root.ExpectIos(10.0L);
+    root.Count("steps", 3);
+    {
+      extmem::ScopedIoTag tag(dev_.get(), "sort");
+      trace::Span child(dev_.get(), "child");
+      dev_->ChargeReadBlocks(7);
+    }
+    dev_->ChargeWriteBlocks(5);
+  }
+
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + name;
+  }
+
+  static std::string Slurp(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    EXPECT_NE(f, nullptr) << path;
+    if (f == nullptr) return {};
+    std::string out;
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      out.append(buf, got);
+    }
+    std::fclose(f);
+    return out;
+  }
+
+  trace::Tracer tracer_;
+  std::unique_ptr<extmem::Device> dev_;
+};
+
+TEST_F(SinkTest, TreeReportShowsHierarchyAndRatio) {
+  const std::string report = trace::TreeReport(tracer_);
+  EXPECT_NE(report.find("root"), std::string::npos) << report;
+  EXPECT_NE(report.find("  child"), std::string::npos) << report;
+  EXPECT_NE(report.find("incl=12"), std::string::npos) << report;
+  EXPECT_NE(report.find("meas/exp=1.200"), std::string::npos) << report;
+  EXPECT_NE(report.find("steps=3"), std::string::npos) << report;
+}
+
+TEST_F(SinkTest, JsonlHasMetaSpansAndTotals) {
+  const std::string path = TempPath("trace_test.jsonl");
+  ASSERT_TRUE(trace::WriteJsonl(tracer_, path));
+  const std::string body = Slurp(path);
+  EXPECT_NE(body.find("\"event\": \"meta\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\": \"root\""), std::string::npos);
+  EXPECT_NE(body.find("\"parent\": -1"), std::string::npos);
+  EXPECT_NE(body.find("\"tags\": {\"sort\""), std::string::npos);
+  EXPECT_NE(body.find("\"event\": \"totals\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(SinkTest, ChromeTraceIsCompleteEventJson) {
+  const std::string path = TempPath("trace_test.chrome.json");
+  ASSERT_TRUE(trace::WriteChromeTrace(tracer_, path));
+  const std::string body = Slurp(path);
+  EXPECT_EQ(body.front(), '{');
+  EXPECT_EQ(body.back(), '\n');
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(body.find("\"dur\": 12"), std::string::npos);
+  EXPECT_NE(body.find("\"io_ratio\": 1.200"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(SinkTest, SinksRejectUnwritablePath) {
+  EXPECT_FALSE(trace::WriteJsonl(tracer_, "/nonexistent-dir/x.jsonl"));
+  EXPECT_FALSE(trace::WriteChromeTrace(tracer_, "/nonexistent-dir/x.json"));
+}
+
+// --- End-to-end: a real join's trace is a lossless decomposition ---
+
+TEST(TracerPipeline, JoinSpanRollupsAreExact) {
+  extmem::Device dev(256, 16);
+  const query::JoinQuery q = query::JoinQuery::Line(3);
+  workload::RandomOptions opt;
+  opt.seed = 11;
+  opt.domain_size = 24;
+  std::vector<storage::Relation> rels =
+      workload::RandomInstance(&dev, q, {800, 600, 800}, opt);
+
+  trace::Tracer tracer;
+  dev.set_tracer(&tracer);
+  const extmem::IoStats before = dev.stats();
+  core::CountingSink sink;
+  core::LineJoin3(rels[0], rels[1], rels[2], sink.AsEmitFn());
+  dev.set_tracer(nullptr);
+
+  const auto& spans = tracer.spans();
+  ASSERT_FALSE(spans.empty());
+
+  // Every span closed; children's inclusive deltas sum to the parent's
+  // recorded child_sum; exclusive is the difference; tag deltas
+  // decompose inclusive exactly.
+  std::vector<IoStats> child_check(spans.size());
+  IoStats roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& s = spans[i];
+    EXPECT_TRUE(s.closed) << s.name;
+    if (s.parent == trace::kNoSpan) {
+      EXPECT_EQ(s.depth, 0u);
+      roots += s.inclusive;
+    } else {
+      ASSERT_LT(s.parent, i) << "children open after their parents";
+      EXPECT_EQ(s.depth, spans[s.parent].depth + 1);
+      child_check[s.parent] += s.inclusive;
+    }
+    EXPECT_EQ(s.exclusive() + s.child_sum, s.inclusive);
+    if (!s.by_tag.empty()) {
+      EXPECT_EQ(extmem::Total(s.by_tag), s.inclusive) << s.name;
+    }
+  }
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(child_check[i], spans[i].child_sum) << spans[i].name;
+  }
+  // Root spans account for every block the join charged.
+  EXPECT_EQ(roots, dev.stats() - before);
+  // The instrumented phases reported their counters.
+  EXPECT_GT(tracer.totals().at("runs_formed"), 0u);
+  EXPECT_GT(tracer.totals().at("semijoin_survivors"), 0u);
+}
+
+}  // namespace
+}  // namespace emjoin

@@ -1,10 +1,14 @@
 // emjoin command-line tool.
 //
 //   emjoin_cli join [--memory M] [--block B] [--print] [--algo auto|yann]
+//              [--stats] [--trace[=PATH]] [--trace-format=tree|jsonl|chrome]
 //              "attr1,attr2=path.csv" ...
 //       Loads CSV relations (unsigned integer columns; attributes are
 //       matched by name across relations), runs the optimal join, and
-//       reports result count and I/O statistics.
+//       reports result count and I/O statistics. --stats adds the per-tag
+//       I/O breakdown and the peak-memory gauge; --trace records a span
+//       tree of the run (tree report to stdout or PATH; jsonl / chrome
+//       formats require a PATH, the latter loads in Perfetto).
 //
 //   emjoin_cli plan [--memory M] [--block B] "attr1,attr2:SIZE" ...
 //       No data: prints the query classification, GenS families and the
@@ -24,6 +28,8 @@
 #include "gens/psi.h"
 #include "query/classify.h"
 #include "storage/csv.h"
+#include "trace/sinks.h"
+#include "trace/tracer.h"
 #include "workload/constructions.h"
 
 namespace {
@@ -34,6 +40,10 @@ struct CommonFlags {
   TupleCount memory = 1 << 16;
   TupleCount block = 1 << 10;
   bool print = false;
+  bool stats = false;
+  bool trace = false;
+  std::string trace_path;              // empty: tree report to stdout
+  std::string trace_format = "tree";   // tree | jsonl | chrome
   std::string algo = "auto";
   std::vector<std::string> positional;
 };
@@ -55,6 +65,22 @@ bool ParseFlags(int argc, char** argv, int start, CommonFlags* out) {
       if (!next(&out->block)) return false;
     } else if (arg == "--print") {
       out->print = true;
+    } else if (arg == "--stats") {
+      out->stats = true;
+    } else if (arg == "--trace") {
+      out->trace = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      out->trace = true;
+      out->trace_path = arg.substr(std::strlen("--trace="));
+    } else if (arg.rfind("--trace-format=", 0) == 0) {
+      out->trace = true;
+      out->trace_format = arg.substr(std::strlen("--trace-format="));
+      if (out->trace_format != "tree" && out->trace_format != "jsonl" &&
+          out->trace_format != "chrome") {
+        std::fprintf(stderr, "unknown trace format '%s'\n",
+                     out->trace_format.c_str());
+        return false;
+      }
     } else if (arg == "--algo") {
       if (i + 1 >= argc) return false;
       out->algo = argv[++i];
@@ -69,38 +95,78 @@ bool ParseFlags(int argc, char** argv, int start, CommonFlags* out) {
     std::fprintf(stderr, "require 1 <= block <= memory\n");
     return false;
   }
+  if (out->trace && out->trace_format != "tree" && out->trace_path.empty()) {
+    std::fprintf(stderr, "--trace-format=%s requires --trace=PATH\n",
+                 out->trace_format.c_str());
+    return false;
+  }
   return true;
+}
+
+// Flushes a recorded trace to the sink the flags selected. Returns 0 on
+// success, 1 when the output file cannot be written.
+int WriteTrace(const trace::Tracer& tracer, const CommonFlags& flags) {
+  bool ok = true;
+  if (flags.trace_format == "jsonl") {
+    ok = trace::WriteJsonl(tracer, flags.trace_path);
+  } else if (flags.trace_format == "chrome") {
+    ok = trace::WriteChromeTrace(tracer, flags.trace_path);
+  } else if (flags.trace_path.empty()) {
+    std::fputs(trace::TreeReport(tracer).c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(flags.trace_path.c_str(), "w");
+    ok = f != nullptr;
+    if (ok) {
+      std::fputs(trace::TreeReport(tracer).c_str(), f);
+      std::fclose(f);
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "failed to write trace to %s\n",
+                 flags.trace_path.c_str());
+    return 1;
+  }
+  if (!flags.trace_path.empty()) {
+    std::printf("trace:     %zu spans (%s) -> %s\n", tracer.spans().size(),
+                flags.trace_format.c_str(), flags.trace_path.c_str());
+  }
+  return 0;
 }
 
 int CmdJoin(const CommonFlags& flags) {
   extmem::Device dev(flags.memory, flags.block);
+  trace::Tracer tracer;
+  if (flags.trace) dev.set_tracer(&tracer);
   std::vector<std::string> names;
   std::vector<storage::Relation> rels;
 
-  for (const std::string& spec : flags.positional) {
-    const std::size_t eq = spec.find('=');
-    if (eq == std::string::npos) {
-      std::fprintf(stderr, "expected 'attrs=path.csv', got '%s'\n",
-                   spec.c_str());
-      return 2;
+  {
+    trace::Span load_span(&dev, "load");
+    for (const std::string& spec : flags.positional) {
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "expected 'attrs=path.csv', got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      std::string error;
+      const auto schema =
+          storage::ParseSchemaSpec(spec.substr(0, eq), &names, &error);
+      if (!schema) {
+        std::fprintf(stderr, "bad schema: %s\n", error.c_str());
+        return 2;
+      }
+      const auto rel = storage::RelationFromCsvFile(&dev, *schema,
+                                                    spec.substr(eq + 1),
+                                                    &error);
+      if (!rel) {
+        std::fprintf(stderr, "bad relation: %s\n", error.c_str());
+        return 2;
+      }
+      rels.push_back(*rel);
+      std::printf("loaded %s: %llu tuples\n", spec.c_str(),
+                  (unsigned long long)rel->size());
     }
-    std::string error;
-    const auto schema =
-        storage::ParseSchemaSpec(spec.substr(0, eq), &names, &error);
-    if (!schema) {
-      std::fprintf(stderr, "bad schema: %s\n", error.c_str());
-      return 2;
-    }
-    const auto rel = storage::RelationFromCsvFile(&dev, *schema,
-                                                  spec.substr(eq + 1),
-                                                  &error);
-    if (!rel) {
-      std::fprintf(stderr, "bad relation: %s\n", error.c_str());
-      return 2;
-    }
-    rels.push_back(*rel);
-    std::printf("loaded %s: %llu tuples\n", spec.c_str(),
-                (unsigned long long)rel->size());
   }
   if (rels.empty()) {
     std::fprintf(stderr, "no relations given\n");
@@ -144,10 +210,13 @@ int CmdJoin(const CommonFlags& flags) {
   }
   std::printf("results:   %llu\n", (unsigned long long)count);
   std::printf("I/O:       %s\n", dev.stats().ToString().c_str());
-  std::printf("breakdown: %s\n", dev.TagReport().c_str());
-  std::printf("peak mem:  %llu tuples (M = %llu)\n",
-              (unsigned long long)dev.gauge().high_water(),
-              (unsigned long long)dev.M());
+  if (flags.stats) {
+    std::printf("breakdown: %s\n", dev.TagReport().c_str());
+    std::printf("peak mem:  %llu tuples (M = %llu)\n",
+                (unsigned long long)dev.gauge().high_water(),
+                (unsigned long long)dev.M());
+  }
+  if (flags.trace) return WriteTrace(tracer, flags);
   return 0;
 }
 
