@@ -256,30 +256,44 @@ bool IsBalancedLine(const std::vector<TupleCount>& sizes) {
   return true;
 }
 
-AutoJoinReport JoinAuto(const std::vector<storage::Relation>& rels,
-                        const EmitFn& emit) {
-  if (rels.empty()) return {"none", "empty query"};
-  extmem::Device* dev = rels.front().device();
-  trace::Span span(dev, "auto_join");
+extmem::Result<AutoJoinReport> TryJoinAuto(
+    const std::vector<storage::Relation>& rels, const EmitFn& emit) {
+  if (rels.empty()) return AutoJoinReport{"none", "empty query"};
 
   query::JoinQuery q;
   for (const Relation& r : rels) q.AddRelation(r.schema(), r.size());
-  assert(q.IsBergeAcyclic());
-
-  const std::vector<Relation> reduced = FullyReduce(rels);
-  Assignment assignment(MakeResultSchema(rels));
-  const gens::LeafChooser chooser =
-      gens::CostGuidedChooser(dev->M(), dev->B());
-
-  if (const auto order = LineOrder(q); order.has_value() && rels.size() >= 5) {
-    std::vector<Relation> line;
-    line.reserve(order->size());
-    for (query::EdgeId e : *order) line.push_back(reduced[e]);
-    return DispatchLine(line, &assignment, emit, chooser);
+  if (!q.IsBergeAcyclic()) {
+    return extmem::Status(extmem::StatusCode::kInvalidInput,
+                          "query is not Berge-acyclic: " + q.ToString());
   }
 
-  AcyclicJoinUnderAssignment(reduced, &assignment, emit, chooser);
-  return {"AcyclicJoin", "general acyclic query (Algorithm 2)"};
+  return extmem::CatchStatus([&]() -> AutoJoinReport {
+    extmem::Device* dev = rels.front().device();
+    trace::Span span(dev, "auto_join");
+
+    const std::vector<Relation> reduced = FullyReduce(rels);
+    Assignment assignment(MakeResultSchema(rels));
+    const gens::LeafChooser chooser =
+        gens::CostGuidedChooser(dev->M(), dev->B());
+
+    if (const auto order = LineOrder(q);
+        order.has_value() && rels.size() >= 5) {
+      std::vector<Relation> line;
+      line.reserve(order->size());
+      for (query::EdgeId e : *order) line.push_back(reduced[e]);
+      return DispatchLine(line, &assignment, emit, chooser);
+    }
+
+    AcyclicJoinUnderAssignment(reduced, &assignment, emit, chooser);
+    return AutoJoinReport{"AcyclicJoin", "general acyclic query (Algorithm 2)"};
+  });
+}
+
+AutoJoinReport JoinAuto(const std::vector<storage::Relation>& rels,
+                        const EmitFn& emit) {
+  extmem::Result<AutoJoinReport> result = TryJoinAuto(rels, emit);
+  if (!result.ok()) throw extmem::StatusException(result.status());
+  return *std::move(result);
 }
 
 }  // namespace emjoin::core

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/emit.h"
+#include "extmem/status.h"
 #include "query/hypergraph.h"
 #include "storage/relation.h"
 
@@ -38,6 +39,16 @@ struct AutoJoinReport {
 ///   - everything else: Algorithm 2 with the cost-guided chooser.
 AutoJoinReport JoinAuto(const std::vector<storage::Relation>& rels,
                         const EmitFn& emit);
+
+/// JoinAuto with a typed result: the boundary where every failure mode
+/// of a run surfaces as a Status instead of an abort or an escaping
+/// exception — kInvalidInput for a non-Berge-acyclic query, and the
+/// device-layer codes (kIoError, kDeviceFull, kBudgetExceeded,
+/// kDataLoss) for runs under fault injection or budget enforcement.
+/// Rows already emitted before a failure must be discarded by the
+/// caller; only an ok() result means the emitted set is complete.
+extmem::Result<AutoJoinReport> TryJoinAuto(
+    const std::vector<storage::Relation>& rels, const EmitFn& emit);
 
 }  // namespace emjoin::core
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "extmem/status.h"
 #include "query/join_tree.h"
 #include "trace/tracer.h"
 
@@ -89,7 +90,15 @@ std::vector<Relation> FullyReduce(const std::vector<Relation>& rels) {
   if (rels.empty()) return {};
   query::JoinQuery q;
   for (const Relation& r : rels) q.AddRelation(r.schema(), r.size());
-  assert(q.IsBergeAcyclic());
+  if (!q.IsBergeAcyclic()) {
+    // Typed error instead of the former assert: semijoin sweeps along a
+    // join tree are only defined for Berge-acyclic queries. Surfaces as
+    // kInvalidInput at the Try* boundaries.
+    throw extmem::StatusException(
+        extmem::Status(extmem::StatusCode::kInvalidInput,
+                       "FullyReduce requires a Berge-acyclic query, got " +
+                           q.ToString()));
+  }
   const query::JoinTree tree = query::BuildJoinTree(q);
 
   std::vector<Relation> work = rels;

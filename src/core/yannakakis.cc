@@ -63,4 +63,21 @@ YannakakisReport YannakakisJoin(const std::vector<storage::Relation>& rels,
   return report;
 }
 
+extmem::Result<YannakakisReport> TryYannakakisJoin(
+    const std::vector<storage::Relation>& rels, const EmitFn& emit,
+    bool reduce_first) {
+  if (!rels.empty()) {
+    query::JoinQuery q;
+    for (const storage::Relation& r : rels) {
+      q.AddRelation(r.schema(), r.size());
+    }
+    if (!q.IsBergeAcyclic()) {
+      return extmem::Status(extmem::StatusCode::kInvalidInput,
+                            "query is not Berge-acyclic: " + q.ToString());
+    }
+  }
+  return extmem::CatchStatus(
+      [&] { return YannakakisJoin(rels, emit, reduce_first); });
+}
+
 }  // namespace emjoin::core

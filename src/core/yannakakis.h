@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/emit.h"
+#include "extmem/status.h"
 #include "storage/relation.h"
 
 namespace emjoin::core {
@@ -22,6 +23,12 @@ struct YannakakisReport {
 /// in the emit model, which is what bench_yannakakis_gap demonstrates.
 YannakakisReport YannakakisJoin(const std::vector<storage::Relation>& rels,
                                 const EmitFn& emit, bool reduce_first = true);
+
+/// YannakakisJoin with a typed result (see TryJoinAuto for the error
+/// taxonomy and the partial-emission caveat).
+extmem::Result<YannakakisReport> TryYannakakisJoin(
+    const std::vector<storage::Relation>& rels, const EmitFn& emit,
+    bool reduce_first = true);
 
 }  // namespace emjoin::core
 

@@ -4,7 +4,10 @@
 #include <map>
 #include <string>
 
+#include "extmem/fault_injector.h"
 #include "extmem/file.h"
+#include "extmem/status.h"
+#include "trace/tracer.h"
 
 namespace emjoin::extmem {
 
@@ -39,11 +42,155 @@ std::string Device::TagReport() const {
 }
 
 void Device::ChargeReadTuples(TupleCount tuples) {
-  if (tuples > 0) stats_.block_reads += BlocksFor(tuples);
+  if (tuples == 0) return;
+  if (injector_ != nullptr) [[unlikely]] {
+    FaultyChargeReads(BlocksFor(tuples), /*tagged=*/false);
+    return;
+  }
+  stats_.block_reads += BlocksFor(tuples);
 }
 
 void Device::ChargeWriteTuples(TupleCount tuples) {
-  if (tuples > 0) stats_.block_writes += BlocksFor(tuples);
+  if (tuples == 0) return;
+  if (injector_ != nullptr) [[unlikely]] {
+    FaultyChargeWrites(BlocksFor(tuples), /*tagged=*/false);
+    return;
+  }
+  stats_.block_writes += BlocksFor(tuples);
+}
+
+TupleCount Device::PlanningBudget() {
+  if (injector_ != nullptr) [[unlikely]] {
+    const FaultConfig& cfg = injector_->config();
+    const TupleCount floor = cfg.shrink_floor_tuples != 0
+                                 ? cfg.shrink_floor_tuples
+                                 : 4 * block_tuples_;
+    const TupleCount current = std::min(memory_tuples_, gauge_.limit());
+    if (const auto next =
+            injector_->NextShrink(stats_.total(), current, floor)) {
+      gauge_.SetEnforcedLimit(*next);
+      trace::Count(this, "budget_shrinks", 1);
+    }
+  }
+  return std::min(memory_tuples_, gauge_.limit());
+}
+
+// ---------------------------------------------------------------------
+// Fault-injected charge paths. Invariants the soak harness relies on:
+//  - the caller's tag sees exactly the charges the fault-free run would
+//    make (every extra transfer and backoff tick goes to "recovery");
+//  - transient faults (reads, writes, torn writes) are retried up to
+//    RetryPolicy::max_retries with exponential backoff measured on the
+//    virtual I/O clock; exhaustion raises a typed StatusException;
+//  - the RAM-backed file contents are never corrupted — a torn write is
+//    caught by the controller's verify read and repaired by a rewrite,
+//    so a run either finishes with bit-identical output or errors out.
+// ---------------------------------------------------------------------
+
+void Device::ChargeRecoveryReads(std::uint64_t blocks) {
+  stats_.block_reads += blocks;
+  FindTagEntry("recovery")->block_reads += blocks;
+}
+
+void Device::ChargeRecoveryWrites(std::uint64_t blocks) {
+  stats_.block_writes += blocks;
+  FindTagEntry("recovery")->block_writes += blocks;
+}
+
+void Device::CheckCapacityForWrite() {
+  const std::uint64_t cap = injector_->config().device_capacity_blocks;
+  if (cap != 0 && stats_.block_writes >= cap) {
+    throw StatusException(Status(
+        StatusCode::kDeviceFull,
+        "device capacity of " + std::to_string(cap) +
+            " written blocks exhausted (" + injector_->Describe() + ")"));
+  }
+}
+
+void Device::FaultyChargeReads(std::uint64_t blocks, bool tagged) {
+  const RetryPolicy& policy = injector_->retry();
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    std::uint32_t failures = 0;
+    while (injector_->NextReadFails()) {
+      ChargeRecoveryReads(1);  // the failed transfer still cost a tick
+      ++failures;
+      if (failures > policy.max_retries) {
+        injector_->CountExhaustion();
+        throw StatusException(
+            Status(StatusCode::kIoError,
+                   "block read failed after " + std::to_string(failures) +
+                       " attempts (" + injector_->Describe() + ")"));
+      }
+      const std::uint64_t backoff = policy.BackoffFor(failures - 1);
+      ChargeRecoveryReads(backoff);
+      injector_->CountRetry(backoff);
+      trace::Count(this, "io_retries", 1);
+    }
+    stats_.block_reads += 1;
+    if (tagged) TagEntry()->block_reads += 1;
+  }
+}
+
+void Device::FaultyChargeWrites(std::uint64_t blocks, bool tagged) {
+  const RetryPolicy& policy = injector_->retry();
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    // Transient failures before the block lands.
+    std::uint32_t failures = 0;
+    while (injector_->NextWriteFails()) {
+      ChargeRecoveryWrites(1);
+      ++failures;
+      if (failures > policy.max_retries) {
+        injector_->CountExhaustion();
+        throw StatusException(
+            Status(StatusCode::kIoError,
+                   "block write failed after " + std::to_string(failures) +
+                       " attempts (" + injector_->Describe() + ")"));
+      }
+      const std::uint64_t backoff = policy.BackoffFor(failures - 1);
+      ChargeRecoveryWrites(backoff);
+      injector_->CountRetry(backoff);
+      trace::Count(this, "io_retries", 1);
+    }
+    CheckCapacityForWrite();
+    stats_.block_writes += 1;
+    if (tagged) TagEntry()->block_writes += 1;
+
+    // Torn landings: the verify read detects the tear, the rewrite
+    // repairs it (and is itself subject to transient write faults).
+    std::uint32_t tears = 0;
+    while (injector_->NextWriteTorn()) {
+      ChargeRecoveryReads(1);  // verify read that caught the tear
+      ++tears;
+      if (tears > policy.max_retries) {
+        injector_->CountExhaustion();
+        throw StatusException(
+            Status(StatusCode::kDataLoss,
+                   "torn block write could not be repaired after " +
+                       std::to_string(tears) + " rewrites (" +
+                       injector_->Describe() + ")"));
+      }
+      injector_->CountRetry(0);
+      trace::Count(this, "torn_rewrites", 1);
+      std::uint32_t rewrite_failures = 0;
+      while (injector_->NextWriteFails()) {
+        ChargeRecoveryWrites(1);
+        ++rewrite_failures;
+        if (rewrite_failures > policy.max_retries) {
+          injector_->CountExhaustion();
+          throw StatusException(Status(
+              StatusCode::kIoError,
+              "rewrite of torn block failed after " +
+                  std::to_string(rewrite_failures) + " attempts (" +
+                  injector_->Describe() + ")"));
+        }
+        const std::uint64_t backoff = policy.BackoffFor(rewrite_failures - 1);
+        ChargeRecoveryWrites(backoff);
+        injector_->CountRetry(backoff);
+      }
+      CheckCapacityForWrite();
+      ChargeRecoveryWrites(1);  // the repairing rewrite lands
+    }
+  }
 }
 
 }  // namespace emjoin::extmem

@@ -19,6 +19,7 @@ class Tracer;
 namespace emjoin::extmem {
 
 class DiskFile;
+class FaultInjector;
 
 /// Simulated external-memory device (Aggarwal–Vitter model).
 ///
@@ -54,10 +55,18 @@ class Device {
   void ChargeWriteTuples(TupleCount tuples);
 
   void ChargeReadBlocks(std::uint64_t blocks) {
+    if (injector_ != nullptr) [[unlikely]] {
+      FaultyChargeReads(blocks, /*tagged=*/true);
+      return;
+    }
     stats_.block_reads += blocks;
     TagEntry()->block_reads += blocks;
   }
   void ChargeWriteBlocks(std::uint64_t blocks) {
+    if (injector_ != nullptr) [[unlikely]] {
+      FaultyChargeWrites(blocks, /*tagged=*/true);
+      return;
+    }
     stats_.block_writes += blocks;
     TagEntry()->block_writes += blocks;
   }
@@ -98,6 +107,26 @@ class Device {
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
   trace::Tracer* tracer() const { return tracer_; }
 
+  /// Optional fault injector (see extmem/fault_injector.h). Detached
+  /// (nullptr, the default), every charge takes the original fast path
+  /// and block counts are bit-identical to a build without the fault
+  /// layer (pinned by io_invariance tests). Attached, each block charge
+  /// consults the injector: transient faults are retried with
+  /// exponential backoff on the virtual I/O clock, and every fault,
+  /// retry, and backoff tick is charged under the "recovery" tag so the
+  /// algorithm-attributed counts stay exactly the fault-free ones.
+  /// Unrecoverable faults raise StatusException (kIoError, kDeviceFull,
+  /// kDataLoss) — callers reach them as typed Status via the Try* APIs.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// The tuple budget operators should plan against: min(M, enforced
+  /// gauge limit). This is also the safe point where pending
+  /// injector-scheduled budget shrinks take effect (shrinks are applied
+  /// at planning polls, never mid-charge, so a well-behaved operator can
+  /// always finish the allocation it planned). Fault-free this is M.
+  TupleCount PlanningBudget();
+
  private:
   TupleCount memory_tuples_;
   TupleCount block_tuples_;
@@ -114,10 +143,21 @@ class Device {
     return &per_tag_.emplace(std::string(tag), IoStats{}).first->second;
   }
 
+  // Slow-path charge loops used when a fault injector is attached; one
+  // block at a time, with retry/backoff/recovery accounting. `tagged`
+  // mirrors the fast paths: block charges hit the current tag entry,
+  // bulk tuple charges hit totals only.
+  void FaultyChargeReads(std::uint64_t blocks, bool tagged);
+  void FaultyChargeWrites(std::uint64_t blocks, bool tagged);
+  void ChargeRecoveryReads(std::uint64_t blocks);
+  void ChargeRecoveryWrites(std::uint64_t blocks);
+  void CheckCapacityForWrite();
+
   const char* tag_ = "scan";
   IoStats* tag_entry_ = nullptr;
   std::map<std::string, IoStats, std::less<>> per_tag_;
   trace::Tracer* tracer_ = nullptr;
+  FaultInjector* injector_ = nullptr;
 };
 
 /// RAII I/O-attribution scope: all charges on `device` between

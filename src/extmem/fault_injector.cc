@@ -1,0 +1,46 @@
+#include "extmem/fault_injector.h"
+
+#include <algorithm>
+
+namespace emjoin::extmem {
+
+std::optional<TupleCount> FaultInjector::NextShrink(std::uint64_t clock_ios,
+                                                    TupleCount current,
+                                                    TupleCount floor) {
+  if (current <= floor) return std::nullopt;
+  bool shrink = false;
+  // One-shot scheduled shrinks become due when the clock passes their
+  // tick; each fires exactly once (at the first poll at-or-after it).
+  while (next_scheduled_shrink_ < config_.shrink_at_ios.size() &&
+         clock_ios >= config_.shrink_at_ios[next_scheduled_shrink_]) {
+    ++next_scheduled_shrink_;
+    shrink = true;
+  }
+  if (config_.shrink_every_poll) shrink = true;
+  if (!shrink && config_.shrink_prob > 0.0) {
+    shrink = dist_(rng_) < config_.shrink_prob;
+  }
+  if (!shrink) return std::nullopt;
+  const long double scaled =
+      static_cast<long double>(current) * config_.shrink_factor;
+  const TupleCount next =
+      std::max<TupleCount>(floor, static_cast<TupleCount>(scaled));
+  if (next >= current) return std::nullopt;
+  ++stats_.shrinks;
+  return next;
+}
+
+std::string FaultInjector::Describe() const {
+  std::string s = "seed=" + std::to_string(config_.seed);
+  s += " faults=" + std::to_string(stats_.TotalFaults());
+  s += " (r=" + std::to_string(stats_.read_faults);
+  s += " w=" + std::to_string(stats_.write_faults);
+  s += " torn=" + std::to_string(stats_.torn_writes) + ")";
+  s += " retries=" + std::to_string(stats_.retries);
+  s += " backoff_ios=" + std::to_string(stats_.backoff_ios);
+  s += " shrinks=" + std::to_string(stats_.shrinks);
+  s += " exhaustions=" + std::to_string(stats_.exhaustions);
+  return s;
+}
+
+}  // namespace emjoin::extmem

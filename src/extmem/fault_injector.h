@@ -1,0 +1,150 @@
+#ifndef EMJOIN_EXTMEM_FAULT_INJECTOR_H_
+#define EMJOIN_EXTMEM_FAULT_INJECTOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "extmem/defs.h"
+
+namespace emjoin::extmem {
+
+/// Bounded-retry policy for transient device faults. Backoff is measured
+/// on the virtual I/O clock: waiting out a backoff of k ticks is charged
+/// as k block I/Os under the "recovery" tag (the simulator has a single
+/// clock, and one tick of it is one block transfer), doubling per attempt.
+struct RetryPolicy {
+  std::uint32_t max_retries = 4;
+  std::uint64_t backoff_base_ios = 1;
+
+  /// Backoff charged after failed attempt `attempt` (0-based).
+  std::uint64_t BackoffFor(std::uint32_t attempt) const {
+    return backoff_base_ios << (attempt < 20 ? attempt : 20);
+  }
+};
+
+/// Seeded fault schedule. All decisions are drawn from one PRNG seeded
+/// with `seed`, so a run is replayed exactly by re-running the same
+/// workload with the same config — the soak harness prints the seed of
+/// any failing run for that purpose.
+struct FaultConfig {
+  std::uint64_t seed = 0;
+
+  /// Per-block transient failure probabilities in [0, 1].
+  double read_fail = 0.0;
+  double write_fail = 0.0;
+  /// Probability a block write is torn: the transfer is charged, then the
+  /// device's verify pass detects the tear (one recovery read) and the
+  /// block is rewritten (recovery writes, themselves retryable).
+  double torn_write = 0.0;
+
+  /// Device capacity in cumulative written blocks (log-structured model);
+  /// 0 = unlimited. Exceeding it is a permanent DEVICE_FULL error.
+  std::uint64_t device_capacity_blocks = 0;
+
+  /// Memory-budget shrinks. A shrink multiplies the enforced MemoryGauge
+  /// limit by `shrink_factor` (never below `shrink_floor_tuples`). Shrinks
+  /// take effect at planning polls (Device::PlanningBudget), the safe
+  /// points where operators re-plan — mirroring how a real system honors
+  /// a memory-pressure signal at its next allocation decision.
+  std::vector<std::uint64_t> shrink_at_ios;  // one-shot, at first poll >= tick
+  double shrink_prob = 0.0;                  // per-poll random shrink
+  bool shrink_every_poll = false;            // adversarial: shrink at EVERY poll
+  double shrink_factor = 0.5;
+  TupleCount shrink_floor_tuples = 0;  // 0: device picks 4*B
+
+  RetryPolicy retry;
+
+  /// True if any fault source is active.
+  bool Active() const {
+    return read_fail > 0 || write_fail > 0 || torn_write > 0 ||
+           device_capacity_blocks > 0 || !shrink_at_ios.empty() ||
+           shrink_prob > 0 || shrink_every_poll;
+  }
+};
+
+/// Tallies of injected faults and recovery work, for tests and reports.
+struct FaultStats {
+  std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t retries = 0;       // successful-or-not re-attempts
+  std::uint64_t backoff_ios = 0;   // virtual-clock ticks spent backing off
+  std::uint64_t shrinks = 0;       // budget shrinks applied
+  std::uint64_t exhaustions = 0;   // retry budgets exhausted (errors raised)
+
+  std::uint64_t TotalFaults() const {
+    return read_faults + write_faults + torn_writes;
+  }
+};
+
+/// Deterministic, seeded fault source for a Device. The device consults
+/// it at every block charge (read/write) and at every planning poll; the
+/// injector only makes decisions and keeps tallies — all charging and
+/// error raising stays in the device, so the cost model has a single
+/// owner. Attach with Device::set_fault_injector; detached devices run
+/// the unchanged fault-free fast path.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config)
+      : config_(config), rng_(config.seed) {
+    // Scheduled ticks are consumed in order; sort so "fires at the first
+    // poll at-or-after its tick" holds for any caller-supplied list.
+    std::sort(config_.shrink_at_ios.begin(), config_.shrink_at_ios.end());
+  }
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultConfig& config() const { return config_; }
+  const RetryPolicy& retry() const { return config_.retry; }
+
+  /// Decision points (one PRNG draw each; order of calls defines the
+  /// schedule, so identical workloads replay identically).
+  bool NextReadFails() { return Draw(config_.read_fail, &stats_.read_faults); }
+  bool NextWriteFails() {
+    return Draw(config_.write_fail, &stats_.write_faults);
+  }
+  bool NextWriteTorn() { return Draw(config_.torn_write, &stats_.torn_writes); }
+
+  /// Budget shrink decision at a planning poll with the virtual clock at
+  /// `clock_ios` and the gauge limit at `current`. Returns the new
+  /// (smaller) limit to enforce, or nullopt for no shrink. `floor` is the
+  /// resolved shrink floor in tuples.
+  std::optional<TupleCount> NextShrink(std::uint64_t clock_ios,
+                                       TupleCount current, TupleCount floor);
+
+  /// Tallies updated by the device's recovery paths.
+  void CountRetry(std::uint64_t backoff) {
+    ++stats_.retries;
+    stats_.backoff_ios += backoff;
+  }
+  void CountExhaustion() { ++stats_.exhaustions; }
+
+  const FaultStats& stats() const { return stats_; }
+
+  /// "seed=42 faults=17 retries=12 shrinks=2" — for error messages and
+  /// soak-harness replay lines.
+  std::string Describe() const;
+
+ private:
+  bool Draw(double p, std::uint64_t* counter) {
+    if (p <= 0.0) return false;
+    const bool hit = dist_(rng_) < p;
+    if (hit) ++(*counter);
+    return hit;
+  }
+
+  FaultConfig config_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> dist_{0.0, 1.0};
+  FaultStats stats_;
+  std::size_t next_scheduled_shrink_ = 0;
+};
+
+}  // namespace emjoin::extmem
+
+#endif  // EMJOIN_EXTMEM_FAULT_INJECTOR_H_

@@ -10,6 +10,7 @@
 
 #include "extmem/defs.h"
 #include "extmem/device.h"
+#include "extmem/status.h"
 
 namespace emjoin::extmem {
 
@@ -185,7 +186,16 @@ class FileWriter {
  public:
   explicit FileWriter(FilePtr file) : file_(std::move(file)) {}
 
-  ~FileWriter() { Finish(); }
+  ~FileWriter() {
+    // Finish() can raise a typed fault when an injector is active. If the
+    // destructor runs during an unwind the partial file is being
+    // abandoned anyway, so the trailing-block flush failure is dropped;
+    // callers that care about the flush call Finish() explicitly.
+    try {
+      Finish();
+    } catch (const StatusException&) {
+    }
+  }
 
   FileWriter(const FileWriter&) = delete;
   FileWriter& operator=(const FileWriter&) = delete;

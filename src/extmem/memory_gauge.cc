@@ -1,6 +1,18 @@
 #include "extmem/memory_gauge.h"
 
-// MemoryGauge and MemoryReservation are header-only; this translation unit
-// exists so the library has a stable archive member for the component.
+#include <string>
 
-namespace emjoin::extmem {}  // namespace emjoin::extmem
+#include "extmem/status.h"
+
+namespace emjoin::extmem {
+
+void ThrowBudgetExceeded(TupleCount resident, TupleCount delta,
+                         TupleCount limit) {
+  throw StatusException(Status(
+      StatusCode::kBudgetExceeded,
+      "acquiring " + std::to_string(delta) + " tuples would raise residency " +
+          std::to_string(resident) + " past the enforced budget of " +
+          std::to_string(limit) + " tuples"));
+}
+
+}  // namespace emjoin::extmem

@@ -9,6 +9,11 @@
 
 namespace emjoin::extmem {
 
+/// Raises StatusCode::kBudgetExceeded (declared out of line so this
+/// header does not pull in the throw machinery on the hot path).
+[[noreturn]] void ThrowBudgetExceeded(TupleCount resident, TupleCount delta,
+                                      TupleCount limit);
+
 /// Tracks the number of tuples currently resident in simulated main memory.
 ///
 /// The paper assumes a memory of c*M tuples for a sufficiently large
@@ -16,10 +21,20 @@ namespace emjoin::extmem {
 /// holding O(M) tuples). The gauge validates that model invariant: tests
 /// assert `high_water() <= limit_factor * M` after a join runs.
 ///
+/// The gauge can also *enforce* a budget: with SetEnforcedLimit active,
+/// an Acquire that would push the resident count past the limit raises a
+/// typed kBudgetExceeded error instead of silently overrunning.
+/// Reservations made before a limit shrink are grandfathered (resident
+/// may exceed a freshly lowered limit); only further acquisition past
+/// the limit trips enforcement. Unenforced (the default), behavior is
+/// byte-identical to the original gauge.
+///
 /// Reservations are RAII: construct a `MemoryReservation` to account
 /// resident tuples, and release happens on destruction.
 class MemoryGauge {
  public:
+  static constexpr TupleCount kNoLimit = ~TupleCount{0};
+
   explicit MemoryGauge(TupleCount memory_tuples)
       : memory_tuples_(memory_tuples) {}
 
@@ -27,6 +42,9 @@ class MemoryGauge {
   MemoryGauge& operator=(const MemoryGauge&) = delete;
 
   void Acquire(TupleCount tuples) {
+    if (enforcing_ && resident_ + tuples > limit_) [[unlikely]] {
+      ThrowBudgetExceeded(resident_, tuples, limit_);
+    }
     resident_ += tuples;
     if (resident_ > high_water_) high_water_ = resident_;
     if (!marks_.empty() && resident_ > marks_.back()) {
@@ -47,6 +65,23 @@ class MemoryGauge {
 
   /// The configured memory size M, in tuples.
   TupleCount memory_tuples() const { return memory_tuples_; }
+
+  /// Turns on budget enforcement at `limit` tuples. A mid-run shrink is
+  /// just a second call with a smaller limit (existing residency is
+  /// grandfathered; see class comment).
+  void SetEnforcedLimit(TupleCount limit) {
+    limit_ = limit;
+    enforcing_ = true;
+  }
+
+  void ClearEnforcedLimit() {
+    limit_ = kNoLimit;
+    enforcing_ = false;
+  }
+
+  /// Current enforced limit, or kNoLimit when enforcement is off.
+  TupleCount limit() const { return limit_; }
+  bool enforcing() const { return enforcing_; }
 
   void ResetHighWater() { high_water_ = resident_; }
 
@@ -72,6 +107,8 @@ class MemoryGauge {
   TupleCount memory_tuples_;
   TupleCount resident_ = 0;
   TupleCount high_water_ = 0;
+  TupleCount limit_ = kNoLimit;
+  bool enforcing_ = false;
   std::vector<TupleCount> marks_;
 };
 

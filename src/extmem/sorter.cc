@@ -223,13 +223,19 @@ void SortRun(std::vector<Value>& buffer, std::vector<Value>& scratch,
   cmp_sort.Sort(buffer.data(), n);
 }
 
-// Reads up to M tuples at a time via block-granularity transfers, sorts
-// each load in place, and writes it out as one sorted run per load.
+// Reads up to min(M, planning budget) tuples at a time via
+// block-granularity transfers, sorts each load in place, and writes it
+// out as one sorted run per load. The budget is re-polled per block, so
+// a mid-run shrink of the enforced memory budget closes the current run
+// early (more, smaller runs — extra merge passes later) instead of
+// overrunning; the floor is one block per run. Without an enforced
+// budget the cap is exactly M and the charge profile is unchanged.
 std::vector<FilePtr> FormRuns(const FileRange& input,
                               std::span<const std::uint32_t> key_cols) {
   Device* dev = input.file->device();
   const std::uint32_t w = input.width();
   const TupleCount m = dev->M();
+  const TupleCount b = dev->B();
 
   std::vector<FilePtr> runs;
   FileReader reader(input);
@@ -241,12 +247,14 @@ std::vector<FilePtr> FormRuns(const FileRange& input,
     buffer.clear();
     MemoryReservation res(&dev->gauge(), 0);
     TupleCount loaded = 0;
-    while (!reader.Done() && loaded < m) {
-      const std::span<const Value> block = reader.NextBlock(m - loaded);
+    TupleCount cap = std::max(std::min(m, dev->PlanningBudget()), b);
+    while (!reader.Done() && loaded < cap) {
+      const std::span<const Value> block = reader.NextBlock(cap - loaded);
       buffer.insert(buffer.end(), block.begin(), block.end());
       loaded += block.size() / w;
+      res.Resize(loaded);
+      cap = std::max(std::min(m, dev->PlanningBudget()), b);
     }
-    res.Resize(loaded);
 
     SortRun(buffer, scratch, loaded, w, key_cols);
 
@@ -742,6 +750,115 @@ FilePtr MergeGroup(Device* dev, std::span<const FilePtr> group,
   return MergeWithEngine<LoserTree>(dev, group, w, key_cols);
 }
 
+void Checkpoint(SortManifest* manifest, std::vector<FilePtr> runs,
+                std::uint64_t passes) {
+  if (manifest == nullptr) return;
+  manifest->valid = true;
+  manifest->passes_done = passes;
+  manifest->runs = std::move(runs);
+}
+
+// The sort engine behind ExternalSort / TryExternalSort. Raises
+// StatusException on unrecoverable faults, after checkpointing the
+// completed runs into `manifest` (when given) so a caller can resume.
+FilePtr SortImpl(const FileRange& input,
+                 std::span<const std::uint32_t> key_cols,
+                 SortManifest* manifest, const SortOptions& options) {
+  Device* dev = input.file->device();
+  ScopedIoTag tag(dev, "sort");
+  trace::Span span(dev, "sort");
+  const std::uint32_t w = input.width();
+
+  const bool resuming = manifest != nullptr && manifest->valid;
+  if (input.empty() && !resuming) return dev->NewFile(w);
+
+  std::vector<FilePtr> runs;
+  std::uint64_t passes = 0;
+  if (resuming) {
+    // Resume from the manifest's completed runs: run formation and any
+    // completed merge passes are not redone.
+    runs = manifest->runs;
+    passes = manifest->passes_done;
+    trace::Count(dev, "sort_resumes", 1);
+    if (runs.empty()) {
+      manifest->valid = false;
+      return dev->NewFile(w);
+    }
+  } else {
+    trace::Span run_span(dev, "sort.runs");
+    runs = FormRuns(input, key_cols);
+    run_span.Count("runs_formed", runs.size());
+    Checkpoint(manifest, runs, 0);
+  }
+
+  while (runs.size() > 1) {
+    trace::Span pass_span(dev, "sort.merge_pass");
+    span.Count("merge_passes", 1);
+    // Fan-in is re-planned per pass against the current budget: a
+    // shrunken budget lowers the fan-in (floor 2), trading extra passes
+    // — the logarithmic factor the bounds suppress — for staying inside
+    // the enforced memory. Fault-free this is exactly max(2, M/B).
+    const TupleCount budget =
+        std::min<TupleCount>(dev->M(), dev->PlanningBudget());
+    std::uint64_t fan_in = std::max<std::uint64_t>(2, budget / dev->B());
+    if (dev->gauge().enforcing()) {
+      // The merge holds fan_in input blocks plus one output block
+      // resident; under an enforced budget the fan-in must leave that
+      // headroom or the reservation itself would trip enforcement.
+      // (Unenforced, M/B inputs + 1 output is the classic plan and the
+      // gauge merely records the M+B peak.)
+      fan_in = std::max<std::uint64_t>(
+          2, std::min<std::uint64_t>(fan_in, budget / dev->B() - 1));
+    }
+    std::vector<FilePtr> next;
+    for (std::size_t i = 0; i < runs.size(); i += fan_in) {
+      const std::size_t end = std::min(runs.size(), i + fan_in);
+      if (end - i == 1) {
+        next.push_back(runs[i]);
+        continue;
+      }
+      pass_span.Count("merge_groups", 1);
+      pass_span.Count("merge_fanin", end - i);
+      const std::span<const FilePtr> group(runs.data() + i, end - i);
+      std::uint32_t attempts = 0;
+      for (;;) {
+        try {
+          if (attempts == 0) {
+            next.push_back(MergeGroup(dev, group, w, key_cols));
+          } else {
+            // Re-merge of an interrupted group. Only this group is
+            // redone — completed groups and runs persist — and the
+            // rework is charged under the recovery tag.
+            ScopedIoTag recovery(dev, "recovery");
+            trace::Count(dev, "sort_group_retries", 1);
+            next.push_back(MergeGroup(dev, group, w, key_cols));
+          }
+          break;
+        } catch (const StatusException& e) {
+          const StatusCode code = e.status().code();
+          const bool transient = code == StatusCode::kIoError ||
+                                 code == StatusCode::kDataLoss;
+          if (!transient || attempts >= options.group_retries) {
+            // Checkpoint what survived: this pass's merged groups plus
+            // the runs not yet consumed (including this group's inputs,
+            // which are intact — only the partial output is dropped).
+            std::vector<FilePtr> remaining = next;
+            remaining.insert(remaining.end(), runs.begin() + i, runs.end());
+            Checkpoint(manifest, std::move(remaining), passes);
+            throw;
+          }
+          ++attempts;
+        }
+      }
+    }
+    runs = std::move(next);
+    ++passes;
+    Checkpoint(manifest, runs, passes);
+  }
+  if (manifest != nullptr) manifest->valid = false;  // consumed
+  return runs.front();
+}
+
 }  // namespace
 
 std::uint64_t MergePassesFor(const Device& device, TupleCount n) {
@@ -759,40 +876,15 @@ std::uint64_t MergePassesFor(const Device& device, TupleCount n) {
 
 FilePtr ExternalSort(const FileRange& input,
                      std::span<const std::uint32_t> key_cols) {
-  Device* dev = input.file->device();
-  ScopedIoTag tag(dev, "sort");
-  trace::Span span(dev, "sort");
-  const std::uint32_t w = input.width();
+  return SortImpl(input, key_cols, nullptr, SortOptions{});
+}
 
-  if (input.empty()) return dev->NewFile(w);
-
-  std::vector<FilePtr> runs;
-  {
-    trace::Span run_span(dev, "sort.runs");
-    runs = FormRuns(input, key_cols);
-    run_span.Count("runs_formed", runs.size());
-  }
-  const std::uint64_t fan_in = std::max<std::uint64_t>(2, dev->M() / dev->B());
-
-  while (runs.size() > 1) {
-    trace::Span pass_span(dev, "sort.merge_pass");
-    span.Count("merge_passes", 1);
-    std::vector<FilePtr> next;
-    for (std::size_t i = 0; i < runs.size(); i += fan_in) {
-      const std::size_t end = std::min(runs.size(), i + fan_in);
-      if (end - i == 1) {
-        next.push_back(runs[i]);
-      } else {
-        pass_span.Count("merge_groups", 1);
-        pass_span.Count("merge_fanin", end - i);
-        next.push_back(MergeGroup(
-            dev, std::span<const FilePtr>(runs.data() + i, end - i), w,
-            key_cols));
-      }
-    }
-    runs = std::move(next);
-  }
-  return runs.front();
+Result<FilePtr> TryExternalSort(const FileRange& input,
+                                std::span<const std::uint32_t> key_cols,
+                                SortManifest* manifest,
+                                const SortOptions& options) {
+  return CatchStatus(
+      [&] { return SortImpl(input, key_cols, manifest, options); });
 }
 
 }  // namespace emjoin::extmem

@@ -1,0 +1,37 @@
+#include "extmem/status.h"
+
+namespace emjoin::extmem {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kDeviceFull:
+      return "DEVICE_FULL";
+    case StatusCode::kBudgetExceeded:
+      return "BUDGET_EXCEEDED";
+    case StatusCode::kInvalidInput:
+      return "INVALID_INPUT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s(StatusCodeName(code_));
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace emjoin::extmem

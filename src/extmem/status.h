@@ -1,0 +1,126 @@
+#ifndef EMJOIN_EXTMEM_STATUS_H_
+#define EMJOIN_EXTMEM_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace emjoin::extmem {
+
+/// Typed error taxonomy for the external-memory stack. Every failure a
+/// run can end in maps to exactly one code; the CLI maps codes to exit
+/// statuses and the soak harness asserts that faulted runs terminate
+/// with one of these (never a crash or silent corruption).
+enum class StatusCode {
+  kOk = 0,
+  /// A device transfer failed and the retry policy was exhausted.
+  kIoError,
+  /// The device ran out of blocks (capacity limit reached).
+  kDeviceFull,
+  /// An enforced memory budget (MemoryGauge limit) was overrun.
+  kBudgetExceeded,
+  /// Malformed user input (CSV data, schema spec, non-acyclic query).
+  kInvalidInput,
+  /// A named host resource (input file) does not exist or is unreadable.
+  kNotFound,
+  /// A torn (partially persisted) block write was detected on read-back.
+  kDataLoss,
+  /// Internal invariant violation surfaced as an error instead of abort.
+  kInternal,
+};
+
+/// Short stable name for a code ("IO_ERROR", "DEVICE_FULL", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A typed error (or success) value. Cheap to copy on the ok path: an
+/// ok Status carries no message allocation.
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "IO_ERROR: read of block 17 failed after 4 retries".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Exception used to unwind the deep operator call stacks (device charge
+/// points sit under recursive join operators and emit callbacks; threading
+/// a return value through every frame would contort the hot paths that
+/// the fault-free cost model depends on). It never escapes the library:
+/// the Try* entry points and Result-returning APIs catch it and return
+/// the carried Status. Code outside src/ should not need to catch it.
+class StatusException : public std::runtime_error {
+ public:
+  explicit StatusException(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// A value or a typed error, for API boundaries (StatusOr-style).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(implicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // ok() iff value_ holds
+};
+
+/// Runs `fn()` (returning T) and converts a StatusException into an error
+/// Result; the bridge between the exception-unwound interior and the
+/// typed API surface.
+template <typename Fn>
+auto CatchStatus(Fn&& fn) -> Result<decltype(fn())> {
+  try {
+    return std::forward<Fn>(fn)();
+  } catch (const StatusException& e) {
+    return e.status();
+  }
+}
+
+}  // namespace emjoin::extmem
+
+#endif  // EMJOIN_EXTMEM_STATUS_H_

@@ -11,6 +11,19 @@ namespace emjoin::storage {
 
 namespace {
 
+using extmem::Result;
+using extmem::Status;
+using extmem::StatusCode;
+
+Status InputError(std::string_view source, std::size_t line_no,
+                  const std::string& what) {
+  std::ostringstream os;
+  os << source;
+  if (line_no > 0) os << ": line " << line_no;
+  os << ": " << what;
+  return Status(StatusCode::kInvalidInput, os.str());
+}
+
 bool ParseFields(const std::string& line, std::uint32_t expected,
                  Tuple* out, std::string* error) {
   out->clear();
@@ -46,42 +59,59 @@ bool ParseFields(const std::string& line, std::uint32_t expected,
 
 }  // namespace
 
-std::optional<Relation> RelationFromCsv(extmem::Device* dev, Schema schema,
-                                        std::istream& in,
-                                        std::string* error) {
+Result<Relation> RelationFromCsv(extmem::Device* dev, Schema schema,
+                                 std::istream& in, std::string_view source) {
+  // Rows are fully parsed into host memory before any device write, so a
+  // parse error on line k never leaves the first k-1 tuples behind on
+  // the device (no partial device-side writes to clean up).
   std::vector<Tuple> rows;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    // Strip a trailing CR (files from other platforms).
+    if (line.size() > kMaxCsvLineBytes) {
+      std::ostringstream os;
+      os << "line too long (" << line.size() << " bytes, limit "
+         << kMaxCsvLineBytes << ")";
+      return InputError(source, line_no, os.str());
+    }
+    // Strip a trailing CR (files from other platforms). A last line
+    // without a trailing newline arrives here like any other.
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     Tuple t;
     std::string field_error;
     if (!ParseFields(line, schema.arity(), &t, &field_error)) {
-      std::ostringstream os;
-      os << "line " << line_no << ": " << field_error;
-      *error = os.str();
-      return std::nullopt;
+      return InputError(source, line_no, field_error);
     }
     rows.push_back(std::move(t));
   }
+  if (in.bad()) {
+    return Status(StatusCode::kIoError,
+                  std::string(source) + ": read error after line " +
+                      std::to_string(line_no));
+  }
+  if (line_no == 0) {
+    // A zero-byte file is almost always a truncated upload or a wrong
+    // path, not an intentionally empty relation (use a comment line for
+    // that), so reject it loudly.
+    return InputError(source, 0, "file is empty (no lines); use '#' comment "
+                                 "lines for an intentionally empty relation");
+  }
   std::sort(rows.begin(), rows.end());
   rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
-  return Relation::FromTuples(dev, std::move(schema), rows);
+  return extmem::CatchStatus(
+      [&] { return Relation::FromTuples(dev, std::move(schema), rows); });
 }
 
-std::optional<Relation> RelationFromCsvFile(extmem::Device* dev,
-                                            Schema schema,
-                                            const std::string& path,
-                                            std::string* error) {
+Result<Relation> RelationFromCsvFile(extmem::Device* dev, Schema schema,
+                                     const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    *error = "cannot open '" + path + "'";
-    return std::nullopt;
+    return Status(StatusCode::kNotFound,
+                  path + ": cannot open file for reading");
   }
-  return RelationFromCsv(dev, std::move(schema), in, error);
+  return RelationFromCsv(dev, std::move(schema), in, path);
 }
 
 void RelationToCsv(const Relation& rel, std::ostream& out) {
@@ -99,9 +129,8 @@ void RelationToCsv(const Relation& rel, std::ostream& out) {
   }
 }
 
-std::optional<Schema> ParseSchemaSpec(const std::string& spec,
-                                      std::vector<std::string>* names,
-                                      std::string* error) {
+Result<Schema> ParseSchemaSpec(const std::string& spec,
+                               std::vector<std::string>* names) {
   std::vector<AttrId> attrs;
   std::size_t pos = 0;
   while (pos <= spec.size()) {
@@ -118,8 +147,8 @@ std::optional<Schema> ParseSchemaSpec(const std::string& spec,
       name.pop_back();
     }
     if (name.empty()) {
-      *error = "empty attribute name in '" + spec + "'";
-      return std::nullopt;
+      return Status(StatusCode::kInvalidInput,
+                    "empty attribute name in schema spec '" + spec + "'");
     }
     const auto it = std::find(names->begin(), names->end(), name);
     AttrId id;
@@ -130,8 +159,9 @@ std::optional<Schema> ParseSchemaSpec(const std::string& spec,
       id = static_cast<AttrId>(it - names->begin());
     }
     if (std::find(attrs.begin(), attrs.end(), id) != attrs.end()) {
-      *error = "duplicate attribute '" + name + "' in '" + spec + "'";
-      return std::nullopt;
+      return Status(StatusCode::kInvalidInput, "duplicate attribute '" +
+                                                   name + "' in schema spec '" +
+                                                   spec + "'");
     }
     attrs.push_back(id);
     if (comma == std::string::npos) break;

@@ -2,39 +2,49 @@
 #define EMJOIN_STORAGE_CSV_H_
 
 #include <iosfwd>
-#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "extmem/status.h"
 #include "storage/relation.h"
 
 namespace emjoin::storage {
 
-/// Parses a relation from CSV text with unsigned-integer columns, one
-/// tuple per line. Empty lines and lines starting with '#' are skipped;
-/// duplicate rows are removed (relations are sets). Returns nullopt with
-/// `error` set on malformed input (wrong column count, non-numeric
-/// field). Loading charges the materialization write, like FromTuples.
-std::optional<Relation> RelationFromCsv(extmem::Device* dev, Schema schema,
-                                        std::istream& in,
-                                        std::string* error);
+/// Maximum accepted CSV line length in bytes. Longer lines are rejected
+/// with a typed error instead of being buffered unboundedly.
+inline constexpr std::size_t kMaxCsvLineBytes = 1 << 20;
 
-/// Convenience: parse from a file path.
-std::optional<Relation> RelationFromCsvFile(extmem::Device* dev,
-                                            Schema schema,
-                                            const std::string& path,
-                                            std::string* error);
+/// Parses a relation from CSV text with unsigned-integer columns, one
+/// tuple per line. Empty lines and lines starting with '#' are skipped
+/// (a final line without a trailing newline is accepted); duplicate rows
+/// are removed (relations are sets). Returns kInvalidInput on malformed
+/// input — wrong column count, non-numeric field, overlong line, or a
+/// stream with no lines at all — with `source` and the line number in
+/// the message. Rows are staged in host memory and materialized only
+/// after the whole input parses, so a parse error never leaves partial
+/// tuples on the device. Loading charges the materialization write, like
+/// FromTuples.
+extmem::Result<Relation> RelationFromCsv(extmem::Device* dev, Schema schema,
+                                         std::istream& in,
+                                         std::string_view source = "<csv>");
+
+/// Convenience: parse from a file path. Every error message includes
+/// `path`; a missing/unreadable file is kNotFound, an empty (zero data
+/// line) file and parse errors are kInvalidInput.
+extmem::Result<Relation> RelationFromCsvFile(extmem::Device* dev,
+                                             Schema schema,
+                                             const std::string& path);
 
 /// Writes `rel` as CSV (one tuple per line), charging a sequential scan.
 void RelationToCsv(const Relation& rel, std::ostream& out);
 
 /// Parses "a,b,c" into a Schema over attribute ids. Attribute names are
 /// interned in `names` (first occurrence assigns the next id), so several
-/// relations can share attributes by name. Returns nullopt on duplicates
-/// within one schema.
-std::optional<Schema> ParseSchemaSpec(const std::string& spec,
-                                      std::vector<std::string>* names,
-                                      std::string* error);
+/// relations can share attributes by name. Returns kInvalidInput on an
+/// empty or duplicate attribute within one schema.
+extmem::Result<Schema> ParseSchemaSpec(const std::string& spec,
+                                       std::vector<std::string>* names);
 
 }  // namespace emjoin::storage
 

@@ -1,0 +1,245 @@
+#include "workload/soak.h"
+
+#include <random>
+#include <sstream>
+#include <utility>
+
+#include "core/dispatch.h"
+#include "core/yannakakis.h"
+#include "extmem/device.h"
+#include "extmem/file.h"
+#include "extmem/sorter.h"
+#include "workload/constructions.h"
+
+namespace emjoin::workload {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void HashValue(std::uint64_t* h, Value v) {
+  *h ^= v;
+  *h *= kFnvPrime;
+}
+
+void HashRowEnd(std::uint64_t* h) { HashValue(h, ~Value{0} - 1); }
+
+// Deterministic tuple stream for the sort workload, derived from the
+// plan seed only (never the injector PRNG).
+struct Xorshift {
+  std::uint64_t x;
+  std::uint64_t Next() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  }
+};
+
+struct BodyResult {
+  std::uint64_t rows = 0;
+  std::uint64_t hash = kFnvOffset;
+  bool resumed = false;
+};
+
+BodyResult RunSort(extmem::Device* dev, const SoakPlan& plan) {
+  const TupleCount n = plan.params.at(0);
+  extmem::FilePtr input = dev->NewFile(2);
+  {
+    extmem::FileWriter writer(input);
+    Xorshift rng{plan.seed | 1};
+    for (TupleCount i = 0; i < n; ++i) {
+      const Value row[2] = {rng.Next() % 997, i};
+      writer.Append(row);
+    }
+    writer.Finish();
+  }
+
+  const std::uint32_t key[] = {0};
+  extmem::SortManifest manifest;
+  auto sorted = extmem::TryExternalSort(extmem::FileRange(input), key,
+                                        &manifest);
+  BodyResult out;
+  if (!sorted.ok()) {
+    const extmem::StatusCode code = sorted.status().code();
+    const bool transient = code == extmem::StatusCode::kIoError ||
+                           code == extmem::StatusCode::kDataLoss;
+    if (transient && manifest.valid) {
+      // One resume from the checkpointed runs; faults stay active, so
+      // the retry may itself end in a typed error.
+      out.resumed = true;
+      sorted = extmem::TryExternalSort(extmem::FileRange(input), key,
+                                       &manifest);
+    }
+  }
+  if (!sorted.ok()) throw extmem::StatusException(sorted.status());
+
+  // Content hash via uncharged raw access (a correctness oracle, exempt
+  // from the cost model like the sorter's own tests).
+  const extmem::FilePtr& file = *sorted;
+  out.rows = file->size();
+  for (TupleCount i = 0; i < file->size(); ++i) {
+    const Value* t = file->RawTuple(i);
+    HashValue(&out.hash, t[0]);
+    HashValue(&out.hash, t[1]);
+    HashRowEnd(&out.hash);
+  }
+  return out;
+}
+
+BodyResult RunJoin(extmem::Device* dev, const SoakPlan& plan) {
+  std::vector<storage::Relation> rels;
+  switch (plan.workload) {
+    case 1:
+      rels = L3WorstCase(dev, plan.params.at(0), 1, plan.params.at(1));
+      break;
+    case 2:
+      rels = StarWorstCase(
+          dev, {plan.params.at(0), plan.params.at(1), plan.params.at(2)});
+      break;
+    default:
+      rels = CrossProductLine(
+          dev, {1, plan.params.at(0), 1, plan.params.at(1), 1});
+      break;
+  }
+
+  BodyResult out;
+  const auto emit = [&](std::span<const Value> row) {
+    ++out.rows;
+    for (Value v : row) HashValue(&out.hash, v);
+    HashRowEnd(&out.hash);
+  };
+  // The throwing entry points: device faults surface as StatusException,
+  // which RunPlan's CatchStatus turns back into a typed outcome.
+  if (plan.use_yannakakis) {
+    core::YannakakisJoin(rels, emit);
+  } else {
+    core::JoinAuto(rels, emit);
+  }
+  return out;
+}
+
+template <typename T>
+T Pick(std::mt19937_64& rng, std::initializer_list<T> choices) {
+  auto it = choices.begin();
+  std::advance(it, rng() % choices.size());
+  return *it;
+}
+
+}  // namespace
+
+const char* SoakWorkloadName(int workload) {
+  switch (workload) {
+    case 0: return "sort";
+    case 1: return "join-l3";
+    case 2: return "join-star";
+    case 3: return "join-line";
+    default: return "unknown";
+  }
+}
+
+SoakPlan PlanFromSeed(std::uint64_t seed) {
+  // The plan PRNG is decoupled from the injector PRNG (which seeds with
+  // `seed` directly) so plan choices and fault draws don't correlate.
+  std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 1);
+
+  SoakPlan plan;
+  plan.seed = seed;
+  plan.workload = static_cast<int>(rng() % kNumSoakWorkloads);
+  plan.memory = Pick<TupleCount>(rng, {64, 128, 256, 512});
+  plan.block = Pick<TupleCount>(rng, {4, 8, 16});
+  if (plan.block * 4 > plan.memory) plan.block = plan.memory / 4;
+  plan.use_yannakakis = plan.workload != 0 && rng() % 3 == 0;
+
+  switch (plan.workload) {
+    case 0:
+      plan.params = {1500 + rng() % 2500};
+      break;
+    case 1:
+      plan.params = {32 + rng() % 48, 32 + rng() % 48};
+      break;
+    case 2:
+      plan.params = {3 + rng() % 5, 3 + rng() % 5, 3 + rng() % 5};
+      break;
+    default:
+      plan.params = {6 + rng() % 8, 6 + rng() % 8};
+      break;
+  }
+
+  extmem::FaultConfig& f = plan.faults;
+  f.seed = seed;
+  f.read_fail = Pick<double>(rng, {0.0, 0.002, 0.01, 0.04});
+  f.write_fail = Pick<double>(rng, {0.0, 0.002, 0.01, 0.04});
+  f.torn_write = Pick<double>(rng, {0.0, 0.002, 0.01});
+  f.retry.max_retries = Pick<std::uint32_t>(rng, {2, 4, 6});
+  if (rng() % 5 == 0) f.device_capacity_blocks = 400 + rng() % 4000;
+  switch (rng() % 4) {
+    case 0:
+      break;  // no budget shrinks
+    case 1: {  // scheduled one-shot shrinks mid-run
+      const int k = 1 + static_cast<int>(rng() % 3);
+      for (int i = 0; i < k; ++i) {
+        f.shrink_at_ios.push_back(100 + rng() % 2500);
+      }
+      break;
+    }
+    case 2:
+      f.shrink_every_poll = true;  // adversarial: shrink at every poll
+      break;
+    default:
+      f.shrink_prob = 0.05;
+      break;
+  }
+  if (!f.Active()) f.read_fail = 0.01;  // every soak run injects something
+  return plan;
+}
+
+SoakOutcome RunPlan(const SoakPlan& plan, bool inject) {
+  extmem::Device dev(plan.memory, plan.block);
+  extmem::FaultInjector injector(plan.faults);
+  if (inject) dev.set_fault_injector(&injector);
+
+  const auto body = extmem::CatchStatus([&] {
+    return plan.workload == 0 ? RunSort(&dev, plan) : RunJoin(&dev, plan);
+  });
+
+  SoakOutcome out;
+  if (body.ok()) {
+    out.completed = true;
+    out.rows = body->rows;
+    out.hash = body->hash;
+    out.resumed_sort = body->resumed;
+  } else {
+    out.status = body.status();
+  }
+  out.fault_stats = injector.stats();
+  for (const auto& [tag, stats] : dev.per_tag()) {
+    if (tag == "recovery") out.recovery += stats;
+  }
+  out.total = dev.stats();
+  return out;
+}
+
+std::string ReplayLine(const SoakPlan& plan, const SoakOutcome& outcome) {
+  std::ostringstream os;
+  os << "seed=" << plan.seed << " workload=" << SoakWorkloadName(plan.workload)
+     << " M=" << plan.memory << " B=" << plan.block
+     << " algo=" << (plan.workload == 0
+                         ? "sort"
+                         : (plan.use_yannakakis ? "yannakakis" : "auto"));
+  if (outcome.completed) {
+    os << " -> ok rows=" << outcome.rows << " hash=" << std::hex
+       << outcome.hash << std::dec;
+    if (outcome.resumed_sort) os << " (resumed)";
+  } else {
+    os << " -> " << outcome.status.ToString();
+  }
+  os << " [faults=" << outcome.fault_stats.TotalFaults()
+     << " retries=" << outcome.fault_stats.retries
+     << " shrinks=" << outcome.fault_stats.shrinks
+     << " recovery_ios=" << outcome.recovery.total() << "]";
+  return os.str();
+}
+
+}  // namespace emjoin::workload

@@ -1,0 +1,69 @@
+#ifndef EMJOIN_WORKLOAD_SOAK_H_
+#define EMJOIN_WORKLOAD_SOAK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "extmem/fault_injector.h"
+#include "extmem/io_stats.h"
+#include "extmem/status.h"
+
+namespace emjoin::workload {
+
+/// Randomized fault-soak harness (shared by tests/fault_soak_test.cc and
+/// tools/emjoin_soak.cc). One soak run derives a full plan — workload,
+/// device geometry, algorithm, and fault schedule — deterministically
+/// from a single seed, executes it twice (fault-free baseline, then with
+/// the injector attached), and checks the robustness contract: the
+/// faulted run either produces bit-identical output (same row count and
+/// content hash as the baseline) or ends in a clean typed error. Any
+/// violation is reproducible from the printed seed alone.
+
+inline constexpr int kNumSoakWorkloads = 4;
+
+/// "sort", "join-l3", "join-star", "join-line".
+const char* SoakWorkloadName(int workload);
+
+/// Everything a run needs, all derived from the seed. Workload inputs
+/// are a function of the plan only — never of the injector's PRNG — so
+/// the baseline and the faulted run operate on identical data.
+struct SoakPlan {
+  std::uint64_t seed = 0;
+  int workload = 0;
+  TupleCount memory = 256;
+  TupleCount block = 16;
+  bool use_yannakakis = false;            // joins only
+  std::vector<TupleCount> params;         // workload-specific sizes
+  extmem::FaultConfig faults;
+};
+
+SoakPlan PlanFromSeed(std::uint64_t seed);
+
+struct SoakOutcome {
+  /// True when the run produced complete output; otherwise `status`
+  /// carries the typed error it ended in.
+  bool completed = false;
+  extmem::Status status;
+
+  std::uint64_t rows = 0;
+  std::uint64_t hash = 0;   // order-sensitive FNV-1a over the output
+  bool resumed_sort = false;  // the sort workload resumed from a manifest
+
+  extmem::FaultStats fault_stats;  // injector tallies (zero for baselines)
+  extmem::IoStats recovery;        // the "recovery" tag's charges
+  extmem::IoStats total;           // device totals for the run
+};
+
+/// Executes the plan on a fresh device; `inject` attaches the seeded
+/// injector. Never throws: every failure mode is folded into the
+/// returned outcome (that is the property under test).
+SoakOutcome RunPlan(const SoakPlan& plan, bool inject);
+
+/// One-line description for failure reports: the seed, the plan, and how
+/// the run ended — everything needed to replay.
+std::string ReplayLine(const SoakPlan& plan, const SoakOutcome& outcome);
+
+}  // namespace emjoin::workload
+
+#endif  // EMJOIN_WORKLOAD_SOAK_H_

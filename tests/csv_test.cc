@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+
+#include "extmem/status.h"
 
 namespace emjoin::storage {
 namespace {
+
+using extmem::StatusCode;
 
 TEST(CsvTest, ParsesRowsSkipsCommentsAndDedupes) {
   extmem::Device dev(16, 4);
@@ -15,43 +20,116 @@ TEST(CsvTest, ParsesRowsSkipsCommentsAndDedupes) {
       "2,20\n"
       "\n"
       "1,10\n");
-  std::string error;
-  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in, &error);
-  ASSERT_TRUE(rel.has_value()) << error;
+  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
   EXPECT_EQ(rel->size(), 2u);
 }
 
 TEST(CsvTest, RejectsWrongArity) {
   extmem::Device dev(16, 4);
   std::istringstream in("1,2,3\n");
-  std::string error;
-  EXPECT_FALSE(RelationFromCsv(&dev, Schema({0, 1}), in, &error).has_value());
-  EXPECT_NE(error.find("expected 2 fields"), std::string::npos);
+  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in);
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(rel.status().message().find("expected 2 fields"),
+            std::string::npos);
 }
 
 TEST(CsvTest, RejectsNonNumeric) {
   extmem::Device dev(16, 4);
   std::istringstream in("1,apple\n");
-  std::string error;
-  EXPECT_FALSE(RelationFromCsv(&dev, Schema({0, 1}), in, &error).has_value());
-  EXPECT_NE(error.find("non-numeric"), std::string::npos);
+  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in);
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(rel.status().message().find("non-numeric"), std::string::npos);
+}
+
+TEST(CsvTest, ErrorsNameSourceAndLine) {
+  extmem::Device dev(16, 4);
+  std::istringstream in("1,2\nbad,row\n");
+  const auto rel =
+      RelationFromCsv(&dev, Schema({0, 1}), in, "/data/edges.csv");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_NE(rel.status().message().find("/data/edges.csv"),
+            std::string::npos);
+  EXPECT_NE(rel.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, MissingFileIsNotFoundWithPath) {
+  extmem::Device dev(16, 4);
+  const auto rel = RelationFromCsvFile(&dev, Schema({0, 1}),
+                                       "/no/such/dir/missing.csv");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(rel.status().message().find("/no/such/dir/missing.csv"),
+            std::string::npos);
+}
+
+TEST(CsvTest, RejectsEmptyInputLoudly) {
+  extmem::Device dev(16, 4);
+  std::istringstream in("");
+  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in, "empty.csv");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(rel.status().message().find("empty.csv"), std::string::npos);
+  EXPECT_NE(rel.status().message().find("empty"), std::string::npos);
+}
+
+TEST(CsvTest, CommentOnlyInputIsAnIntentionallyEmptyRelation) {
+  extmem::Device dev(16, 4);
+  std::istringstream in("# no data yet\n");
+  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->size(), 0u);
+}
+
+TEST(CsvTest, AcceptsMissingTrailingNewline) {
+  extmem::Device dev(16, 4);
+  std::istringstream in("1,2\n3,4");  // no final '\n'
+  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->size(), 2u);
+}
+
+TEST(CsvTest, RejectsOverlongLine) {
+  extmem::Device dev(16, 4);
+  std::string long_line(kMaxCsvLineBytes + 1, '7');
+  std::istringstream in("1,2\n" + long_line + "\n");
+  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in, "big.csv");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(rel.status().message().find("line too long"), std::string::npos);
+  EXPECT_NE(rel.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, ParseErrorLeavesNoPartialDeviceWrites) {
+  extmem::Device dev(64, 4);
+  // 8 good rows, then a bad one: nothing may have been written to the
+  // device, and no tuples may remain resident.
+  std::ostringstream data;
+  for (int i = 0; i < 8; ++i) data << i << "," << i << "\n";
+  data << "oops,1\n";
+  std::istringstream in(data.str());
+  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in);
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(dev.stats().block_writes, 0u);
+  EXPECT_EQ(dev.stats().total(), 0u);
+  EXPECT_EQ(dev.gauge().resident(), 0u);
 }
 
 TEST(CsvTest, HandlesCrLf) {
   extmem::Device dev(16, 4);
   std::istringstream in("1,2\r\n3,4\r\n");
-  std::string error;
-  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in, &error);
-  ASSERT_TRUE(rel.has_value()) << error;
+  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
   EXPECT_EQ(rel->size(), 2u);
 }
 
 TEST(CsvTest, RoundTrip) {
   extmem::Device dev(16, 4);
   std::istringstream in("5,6\n7,8\n");
-  std::string error;
-  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in, &error);
-  ASSERT_TRUE(rel.has_value());
+  const auto rel = RelationFromCsv(&dev, Schema({0, 1}), in);
+  ASSERT_TRUE(rel.ok());
   std::ostringstream out;
   RelationToCsv(*rel, out);
   EXPECT_EQ(out.str(), "5,6\n7,8\n");
@@ -59,11 +137,10 @@ TEST(CsvTest, RoundTrip) {
 
 TEST(CsvTest, SchemaSpecInternsNamesAcrossRelations) {
   std::vector<std::string> names;
-  std::string error;
-  const auto s1 = ParseSchemaSpec("user, account", &names, &error);
-  ASSERT_TRUE(s1.has_value()) << error;
-  const auto s2 = ParseSchemaSpec("account,thread", &names, &error);
-  ASSERT_TRUE(s2.has_value()) << error;
+  const auto s1 = ParseSchemaSpec("user, account", &names);
+  ASSERT_TRUE(s1.ok()) << s1.status().ToString();
+  const auto s2 = ParseSchemaSpec("account,thread", &names);
+  ASSERT_TRUE(s2.ok()) << s2.status().ToString();
   EXPECT_EQ(names, (std::vector<std::string>{"user", "account", "thread"}));
   // "account" resolves to the same id in both schemas.
   EXPECT_EQ(s1->attr(1), s2->attr(0));
@@ -71,9 +148,12 @@ TEST(CsvTest, SchemaSpecInternsNamesAcrossRelations) {
 
 TEST(CsvTest, SchemaSpecRejectsDuplicatesAndEmpties) {
   std::vector<std::string> names;
-  std::string error;
-  EXPECT_FALSE(ParseSchemaSpec("a,a", &names, &error).has_value());
-  EXPECT_FALSE(ParseSchemaSpec("a,,b", &names, &error).has_value());
+  const auto dup = ParseSchemaSpec("a,a", &names);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidInput);
+  const auto empty = ParseSchemaSpec("a,,b", &names);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidInput);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 
 #include "core/emit.h"
 #include "core/line3.h"
+#include "extmem/fault_injector.h"
 #include "extmem/sorter.h"
 #include "query/hypergraph.h"
 #include "storage/relation.h"
@@ -208,6 +209,57 @@ TEST(IoInvariance, LargeFanInMerge) {
   ExpectSorted(sorted, rows, key);
   const auto tags = MergedTags(dev);
   ExpectTag(tags, "sort", 3 * 2048, 3 * 2048);
+}
+
+// The fault layer must be invisible when it injects nothing: attaching
+// an injector whose schedule is empty (all probabilities zero, no
+// capacity, no shrinks) reruns Golden A through the faulty-charge code
+// paths and must reproduce the exact golden counts, with zero recovery
+// charges.
+TEST(IoInvariance, IdleFaultInjectorChangesNoCharges) {
+  extmem::Device dev(1024, 64);
+  extmem::FaultConfig config;
+  config.seed = 42;  // seed alone activates nothing
+  extmem::FaultInjector injector(config);
+  dev.set_fault_injector(&injector);
+
+  const std::vector<storage::Tuple> rows = XorshiftRows(20000);
+  const storage::Relation rel =
+      storage::Relation::FromTuples(&dev, storage::Schema({0, 1}), rows);
+  const std::uint32_t key[] = {0};
+  const extmem::FilePtr sorted = extmem::ExternalSort(rel.range(), key);
+
+  ExpectSorted(sorted, rows, key);
+  EXPECT_EQ(dev.stats().block_reads, 939u);
+  EXPECT_EQ(dev.stats().block_writes, 1252u);
+  const auto tags = MergedTags(dev);
+  ExpectTag(tags, "scan", 0, 313);
+  ExpectTag(tags, "sort", 939, 939);
+  EXPECT_EQ(tags.count("recovery"), 0u);
+  EXPECT_EQ(injector.stats().TotalFaults(), 0u);
+}
+
+// Budget enforcement at exactly M is the boundary case: nothing ever
+// overruns, and the only plan change is the merge fan-in reserving its
+// output-block headroom (15 inputs + 1 output instead of 16 + 1). For
+// this input both plans sweep every block in 2 passes, so the golden
+// counts are unchanged — enforcement at-or-above M is free.
+TEST(IoInvariance, EnforcementAtMKeepsGoldenCounts) {
+  extmem::Device dev(1024, 64);
+  dev.gauge().SetEnforcedLimit(1024);
+
+  const std::vector<storage::Tuple> rows = XorshiftRows(20000);
+  const storage::Relation rel =
+      storage::Relation::FromTuples(&dev, storage::Schema({0, 1}), rows);
+  const std::uint32_t key[] = {0};
+  const extmem::FilePtr sorted = extmem::ExternalSort(rel.range(), key);
+
+  ExpectSorted(sorted, rows, key);
+  EXPECT_EQ(dev.stats().block_reads, 939u);
+  EXPECT_EQ(dev.stats().block_writes, 1252u);
+  const auto tags = MergedTags(dev);
+  ExpectTag(tags, "scan", 0, 313);
+  ExpectTag(tags, "sort", 939, 939);
 }
 
 TEST(MergePasses, InMemoryInputNeedsNoMergePass) {

@@ -2,13 +2,20 @@
 //
 //   emjoin_cli join [--memory M] [--block B] [--print] [--algo auto|yann]
 //              [--stats] [--trace[=PATH]] [--trace-format=tree|jsonl|chrome]
+//              [--fault-seed=N] [--fault-read=P] [--fault-write=P]
+//              [--fault-torn=P] [--fault-capacity=BLOCKS]
+//              [--fault-shrink-at=IOS[,IOS...]] [--fault-shrink-every-poll]
+//              [--fault-retries=K]
 //              "attr1,attr2=path.csv" ...
 //       Loads CSV relations (unsigned integer columns; attributes are
 //       matched by name across relations), runs the optimal join, and
 //       reports result count and I/O statistics. --stats adds the per-tag
 //       I/O breakdown and the peak-memory gauge; --trace records a span
 //       tree of the run (tree report to stdout or PATH; jsonl / chrome
-//       formats require a PATH, the latter loads in Perfetto).
+//       formats require a PATH, the latter loads in Perfetto). The
+//       --fault-* flags attach a seeded fault injector to the device
+//       (see docs/ROBUSTNESS.md); a run that cannot recover exits with
+//       the code for its typed error.
 //
 //   emjoin_cli plan [--memory M] [--block B] "attr1,attr2:SIZE" ...
 //       No data: prints the query classification, GenS families and the
@@ -16,6 +23,18 @@
 //
 //   emjoin_cli demo
 //       Runs the built-in Figure 3 worst case end to end.
+//
+// Exit codes (one failure class each, always with a one-line stderr
+// message prefixed "emjoin_cli:"):
+//   0   success
+//   64  usage error (unknown flag/command, malformed argument syntax)
+//   65  bad input data (CSV parse error, bad schema, non-acyclic query)
+//   66  input file missing or unreadable
+//   69  simulated device full
+//   70  internal error
+//   73  unrecoverable torn write (data loss)
+//   74  I/O fault retries exhausted
+//   75  enforced memory budget exceeded
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +43,8 @@
 
 #include "core/dispatch.h"
 #include "core/yannakakis.h"
+#include "extmem/fault_injector.h"
+#include "extmem/status.h"
 #include "gens/gens.h"
 #include "gens/psi.h"
 #include "query/classify.h"
@@ -36,6 +57,35 @@ namespace {
 
 using namespace emjoin;
 
+// Sysexits-style map; every StatusCode has a distinct exit code so shell
+// callers (and the soak CI job) can tell failure classes apart.
+constexpr int kExitUsage = 64;
+
+int ExitCodeFor(const extmem::Status& status) {
+  switch (status.code()) {
+    case extmem::StatusCode::kOk: return 0;
+    case extmem::StatusCode::kInvalidInput: return 65;
+    case extmem::StatusCode::kNotFound: return 66;
+    case extmem::StatusCode::kDeviceFull: return 69;
+    case extmem::StatusCode::kInternal: return 70;
+    case extmem::StatusCode::kDataLoss: return 73;
+    case extmem::StatusCode::kIoError: return 74;
+    case extmem::StatusCode::kBudgetExceeded: return 75;
+  }
+  return 70;
+}
+
+// One-line stderr diagnostic + mapped exit code.
+int Fail(const extmem::Status& status) {
+  std::fprintf(stderr, "emjoin_cli: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
+}
+
+int FailUsage(const std::string& message) {
+  std::fprintf(stderr, "emjoin_cli: usage: %s\n", message.c_str());
+  return kExitUsage;
+}
+
 struct CommonFlags {
   TupleCount memory = 1 << 16;
   TupleCount block = 1 << 10;
@@ -45,24 +95,33 @@ struct CommonFlags {
   std::string trace_path;              // empty: tree report to stdout
   std::string trace_format = "tree";   // tree | jsonl | chrome
   std::string algo = "auto";
+  bool faults = false;
+  extmem::FaultConfig fault_config;
   std::vector<std::string> positional;
 };
 
-bool ParseFlags(int argc, char** argv, int start, CommonFlags* out) {
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && !text.empty();
+}
+
+// Returns 0 on success, else the exit code for the flag error.
+int ParseFlags(int argc, char** argv, int start, CommonFlags* out) {
   for (int i = start; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto eq_value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
     auto next = [&](TupleCount* dst) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
-        return false;
-      }
+      if (i + 1 >= argc) return false;
       *dst = std::strtoull(argv[++i], nullptr, 10);
       return true;
     };
     if (arg == "--memory") {
-      if (!next(&out->memory)) return false;
+      if (!next(&out->memory)) return FailUsage("missing value after " + arg);
     } else if (arg == "--block") {
-      if (!next(&out->block)) return false;
+      if (!next(&out->block)) return FailUsage("missing value after " + arg);
     } else if (arg == "--print") {
       out->print = true;
     } else if (arg == "--stats") {
@@ -71,40 +130,81 @@ bool ParseFlags(int argc, char** argv, int start, CommonFlags* out) {
       out->trace = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       out->trace = true;
-      out->trace_path = arg.substr(std::strlen("--trace="));
+      out->trace_path = eq_value("--trace=");
     } else if (arg.rfind("--trace-format=", 0) == 0) {
       out->trace = true;
-      out->trace_format = arg.substr(std::strlen("--trace-format="));
+      out->trace_format = eq_value("--trace-format=");
       if (out->trace_format != "tree" && out->trace_format != "jsonl" &&
           out->trace_format != "chrome") {
-        std::fprintf(stderr, "unknown trace format '%s'\n",
-                     out->trace_format.c_str());
-        return false;
+        return FailUsage("unknown trace format '" + out->trace_format + "'");
       }
     } else if (arg == "--algo") {
-      if (i + 1 >= argc) return false;
+      if (i + 1 >= argc) return FailUsage("missing value after --algo");
       out->algo = argv[++i];
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      out->faults = true;
+      out->fault_config.seed =
+          std::strtoull(eq_value("--fault-seed=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--fault-read=", 0) == 0) {
+      out->faults = true;
+      if (!ParseDouble(eq_value("--fault-read="),
+                       &out->fault_config.read_fail)) {
+        return FailUsage("bad probability in " + arg);
+      }
+    } else if (arg.rfind("--fault-write=", 0) == 0) {
+      out->faults = true;
+      if (!ParseDouble(eq_value("--fault-write="),
+                       &out->fault_config.write_fail)) {
+        return FailUsage("bad probability in " + arg);
+      }
+    } else if (arg.rfind("--fault-torn=", 0) == 0) {
+      out->faults = true;
+      if (!ParseDouble(eq_value("--fault-torn="),
+                       &out->fault_config.torn_write)) {
+        return FailUsage("bad probability in " + arg);
+      }
+    } else if (arg.rfind("--fault-capacity=", 0) == 0) {
+      out->faults = true;
+      out->fault_config.device_capacity_blocks =
+          std::strtoull(eq_value("--fault-capacity=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--fault-shrink-at=", 0) == 0) {
+      out->faults = true;
+      const std::string list = eq_value("--fault-shrink-at=");
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        out->fault_config.shrink_at_ios.push_back(
+            std::strtoull(list.substr(pos, end - pos).c_str(), nullptr, 10));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg == "--fault-shrink-every-poll") {
+      out->faults = true;
+      out->fault_config.shrink_every_poll = true;
+    } else if (arg.rfind("--fault-retries=", 0) == 0) {
+      out->faults = true;
+      out->fault_config.retry.max_retries = static_cast<std::uint32_t>(
+          std::strtoul(eq_value("--fault-retries=").c_str(), nullptr, 10));
     } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
-      return false;
+      return FailUsage("unknown flag " + arg);
     } else {
       out->positional.push_back(arg);
     }
   }
   if (out->block < 1 || out->block > out->memory) {
-    std::fprintf(stderr, "require 1 <= block <= memory\n");
-    return false;
+    return FailUsage("require 1 <= block <= memory");
   }
   if (out->trace && out->trace_format != "tree" && out->trace_path.empty()) {
-    std::fprintf(stderr, "--trace-format=%s requires --trace=PATH\n",
-                 out->trace_format.c_str());
-    return false;
+    return FailUsage("--trace-format=" + out->trace_format +
+                     " requires --trace=PATH");
   }
-  return true;
+  return 0;
 }
 
 // Flushes a recorded trace to the sink the flags selected. Returns 0 on
-// success, 1 when the output file cannot be written.
+// success, 70 when the output file cannot be written.
 int WriteTrace(const trace::Tracer& tracer, const CommonFlags& flags) {
   bool ok = true;
   if (flags.trace_format == "jsonl") {
@@ -122,9 +222,9 @@ int WriteTrace(const trace::Tracer& tracer, const CommonFlags& flags) {
     }
   }
   if (!ok) {
-    std::fprintf(stderr, "failed to write trace to %s\n",
-                 flags.trace_path.c_str());
-    return 1;
+    return Fail(extmem::Status(extmem::StatusCode::kInternal,
+                               "failed to write trace to " +
+                                   flags.trace_path));
   }
   if (!flags.trace_path.empty()) {
     std::printf("trace:     %zu spans (%s) -> %s\n", tracer.spans().size(),
@@ -137,6 +237,9 @@ int CmdJoin(const CommonFlags& flags) {
   extmem::Device dev(flags.memory, flags.block);
   trace::Tracer tracer;
   if (flags.trace) dev.set_tracer(&tracer);
+  extmem::FaultInjector injector(flags.fault_config);
+  if (flags.faults) dev.set_fault_injector(&injector);
+
   std::vector<std::string> names;
   std::vector<storage::Relation> rels;
 
@@ -145,42 +248,19 @@ int CmdJoin(const CommonFlags& flags) {
     for (const std::string& spec : flags.positional) {
       const std::size_t eq = spec.find('=');
       if (eq == std::string::npos) {
-        std::fprintf(stderr, "expected 'attrs=path.csv', got '%s'\n",
-                     spec.c_str());
-        return 2;
+        return FailUsage("expected 'attrs=path.csv', got '" + spec + "'");
       }
-      std::string error;
-      const auto schema =
-          storage::ParseSchemaSpec(spec.substr(0, eq), &names, &error);
-      if (!schema) {
-        std::fprintf(stderr, "bad schema: %s\n", error.c_str());
-        return 2;
-      }
-      const auto rel = storage::RelationFromCsvFile(&dev, *schema,
-                                                    spec.substr(eq + 1),
-                                                    &error);
-      if (!rel) {
-        std::fprintf(stderr, "bad relation: %s\n", error.c_str());
-        return 2;
-      }
-      rels.push_back(*rel);
+      auto schema = storage::ParseSchemaSpec(spec.substr(0, eq), &names);
+      if (!schema.ok()) return Fail(schema.status());
+      auto rel = storage::RelationFromCsvFile(&dev, *std::move(schema),
+                                              spec.substr(eq + 1));
+      if (!rel.ok()) return Fail(rel.status());
       std::printf("loaded %s: %llu tuples\n", spec.c_str(),
                   (unsigned long long)rel->size());
+      rels.push_back(*std::move(rel));
     }
   }
-  if (rels.empty()) {
-    std::fprintf(stderr, "no relations given\n");
-    return 2;
-  }
-
-  query::JoinQuery q;
-  for (const auto& r : rels) q.AddRelation(r.schema(), r.size());
-  if (!q.IsBergeAcyclic()) {
-    std::fprintf(stderr,
-                 "query is not Berge-acyclic; only acyclic joins are "
-                 "supported by the CLI\n");
-    return 2;
-  }
+  if (rels.empty()) return FailUsage("no relations given");
 
   const core::ResultSchema schema = core::MakeResultSchema(rels);
   std::printf("result schema:");
@@ -201,15 +281,20 @@ int CmdJoin(const CommonFlags& flags) {
   };
 
   if (flags.algo == "yann") {
-    core::YannakakisJoin(rels, emit);
+    const auto report = core::TryYannakakisJoin(rels, emit);
+    if (!report.ok()) return Fail(report.status());
     std::printf("algorithm: Yannakakis (baseline)\n");
   } else {
-    const core::AutoJoinReport report = core::JoinAuto(rels, emit);
-    std::printf("algorithm: %s (%s)\n", report.algorithm.c_str(),
-                report.reason.c_str());
+    const auto report = core::TryJoinAuto(rels, emit);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("algorithm: %s (%s)\n", report->algorithm.c_str(),
+                report->reason.c_str());
   }
   std::printf("results:   %llu\n", (unsigned long long)count);
   std::printf("I/O:       %s\n", dev.stats().ToString().c_str());
+  if (flags.faults) {
+    std::printf("faults:    %s\n", injector.Describe().c_str());
+  }
   if (flags.stats) {
     std::printf("breakdown: %s\n", dev.TagReport().c_str());
     std::printf("peak mem:  %llu tuples (M = %llu)\n",
@@ -226,32 +311,23 @@ int CmdPlan(const CommonFlags& flags) {
   for (const std::string& spec : flags.positional) {
     const std::size_t colon = spec.rfind(':');
     if (colon == std::string::npos) {
-      std::fprintf(stderr, "expected 'attrs:SIZE', got '%s'\n",
-                   spec.c_str());
-      return 2;
+      return FailUsage("expected 'attrs:SIZE', got '" + spec + "'");
     }
-    std::string error;
-    const auto schema =
-        storage::ParseSchemaSpec(spec.substr(0, colon), &names, &error);
-    if (!schema) {
-      std::fprintf(stderr, "bad schema: %s\n", error.c_str());
-      return 2;
-    }
+    auto schema = storage::ParseSchemaSpec(spec.substr(0, colon), &names);
+    if (!schema.ok()) return Fail(schema.status());
     const TupleCount size =
         std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
     if (size == 0) {
-      std::fprintf(stderr, "bad size in '%s'\n", spec.c_str());
-      return 2;
+      return Fail(extmem::Status(extmem::StatusCode::kInvalidInput,
+                                 "bad size in '" + spec + "'"));
     }
     q.AddRelation(*schema, size);
   }
-  if (q.num_edges() == 0) {
-    std::fprintf(stderr, "no relations given\n");
-    return 2;
-  }
+  if (q.num_edges() == 0) return FailUsage("no relations given");
   if (!q.IsBergeAcyclic()) {
-    std::fprintf(stderr, "query is not Berge-acyclic\n");
-    return 2;
+    return Fail(extmem::Status(extmem::StatusCode::kInvalidInput,
+                               "query is not Berge-acyclic; only acyclic "
+                               "joins are supported"));
   }
 
   std::printf("query: %s\n", q.ToString().c_str());
@@ -288,10 +364,11 @@ int CmdDemo() {
   extmem::Device dev(256, 16);
   const auto rels = workload::L3WorstCase(&dev, 1024, 1, 1024);
   std::uint64_t count = 0;
-  const core::AutoJoinReport report =
-      core::JoinAuto(rels, [&](std::span<const Value>) { ++count; });
+  const auto report =
+      core::TryJoinAuto(rels, [&](std::span<const Value>) { ++count; });
+  if (!report.ok()) return Fail(report.status());
   std::printf("demo: Figure 3 L3 worst case, N = 1024, M = 256, B = 16\n");
-  std::printf("algorithm: %s\n", report.algorithm.c_str());
+  std::printf("algorithm: %s\n", report->algorithm.c_str());
   std::printf("results:   %llu (= N^2)\n", (unsigned long long)count);
   std::printf("I/O:       %s\n", dev.stats().ToString().c_str());
   std::printf("breakdown: %s\n", dev.TagReport().c_str());
@@ -300,28 +377,25 @@ int CmdDemo() {
   return 0;
 }
 
-void Usage() {
-  std::fprintf(stderr,
-               "usage: emjoin_cli join [--memory M] [--block B] [--print] "
-               "[--algo auto|yann] attrs=file.csv ...\n"
-               "       emjoin_cli plan [--memory M] [--block B] "
-               "attrs:SIZE ...\n"
-               "       emjoin_cli demo\n");
+int Usage() {
+  return FailUsage(
+      "emjoin_cli join [--memory M] [--block B] [--print] "
+      "[--algo auto|yann] [--fault-seed=N ...] attrs=file.csv ... | "
+      "emjoin_cli plan [--memory M] [--block B] attrs:SIZE ... | "
+      "emjoin_cli demo");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    Usage();
-    return 2;
-  }
+  if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   CommonFlags flags;
-  if (!ParseFlags(argc, argv, 2, &flags)) return 2;
+  if (const int code = ParseFlags(argc, argv, 2, &flags); code != 0) {
+    return code;
+  }
   if (cmd == "join") return CmdJoin(flags);
   if (cmd == "plan") return CmdPlan(flags);
   if (cmd == "demo") return CmdDemo();
-  Usage();
-  return 2;
+  return Usage();
 }
