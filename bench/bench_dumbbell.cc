@@ -48,7 +48,10 @@ void Run() {
         static_cast<double>(dl) * dl * dr * dr;
     const double bound = bench::TheoremBound(rels, dev);
     const bench::Measured meas = bench::MeasureJoin(
-        &dev, [&](auto emit) { core::AcyclicJoin(rels, emit); });
+        &dev, [&](auto emit) { core::AcyclicJoin(rels, emit); },
+        bench::InternSpanName("dumbbell " + std::to_string(dl) + "x" +
+                              std::to_string(dr)),
+        bound, n);
     table.AddRow({bench::U(dl), bench::U(dr), bench::U(n),
                   balanced ? "yes" : "no", bench::U(meas.results),
                   bench::U(meas.ios), bench::F(bound),
@@ -64,7 +67,7 @@ void Run() {
 }  // namespace emjoin
 
 int main(int argc, char** argv) {
-  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
+  if (!emjoin::bench::ParseBenchFlags(&argc, argv, "dumbbell")) return 2;
   emjoin::Run();
-  return emjoin::bench::FinishTrace();
+  return emjoin::bench::FinishBench();
 }

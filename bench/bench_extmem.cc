@@ -3,10 +3,11 @@
 // external sort charges (passes+1) * 2N/B, semijoin is linear; and
 // reports wall-clock throughput of the simulated operators.
 //
-// Usage: bench_extmem [--json[=PATH]] [--reps=K]
-//   --json   additionally write machine-readable results to PATH
-//            (default BENCH_extmem.json); schema documented on
-//            bench::Reporter.
+// Usage: bench_extmem [--json[=PATH]] [--no-json] [--reps=K]
+//                     [--metrics=PATH] [--audit=PATH] [--trace...]
+// Machine-readable results go to BENCH_extmem.json by default (schema
+// documented on bench::Reporter); --no-json disables the file. All
+// shared flags are parsed by bench::ParseBenchFlags.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -90,24 +91,13 @@ void BenchFullReduceL5(bench::Reporter* reporter, TupleCount n, int reps) {
 }
 
 int Run(int argc, char** argv) {
-  bool write_json = false;
-  std::string json_path = "BENCH_extmem.json";
-  int reps = 3;
+  // --json/--reps/--metrics/--trace are stripped by ParseBenchFlags;
+  // anything left is an error.
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") {
-      write_json = true;
-    } else if (arg.rfind("--json=", 0) == 0) {
-      write_json = true;
-      json_path = arg.substr(std::strlen("--json="));
-    } else if (arg.rfind("--reps=", 0) == 0) {
-      reps = std::atoi(arg.c_str() + std::strlen("--reps="));
-      if (reps < 1) reps = 1;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      return 2;
-    }
+    std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+    return 2;
   }
+  const int reps = bench::GlobalBenchConfig().reps;
 
   bench::Banner("E13: substrate microbenchmarks",
                 "Wall-clock and I/O cost of the external-memory substrate's "
@@ -115,7 +105,7 @@ int Run(int argc, char** argv) {
                 "I/O counts follow the Aggarwal-Vitter model exactly; wall "
                 "clock tracks the block-batched implementation.");
 
-  bench::Reporter reporter;
+  bench::Reporter& reporter = bench::GlobalReporter();
   BenchScan(&reporter, TupleCount{1} << 18, reps);
   BenchScan(&reporter, TupleCount{1} << 20, reps);
   BenchSort(&reporter, TupleCount{1} << 12, reps);
@@ -126,21 +116,16 @@ int Run(int argc, char** argv) {
   BenchFullReduceL5(&reporter, TupleCount{1} << 12, reps);
   BenchFullReduceL5(&reporter, TupleCount{1} << 15, reps);
   reporter.PrintTable();
-
-  if (write_json) {
-    if (!reporter.WriteJson(json_path)) {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-      return 1;
-    }
-    std::printf("\nwrote %s\n", json_path.c_str());
-  }
-  return bench::FinishTrace();
+  return bench::FinishBench();
 }
 
 }  // namespace
 }  // namespace emjoin
 
 int main(int argc, char** argv) {
-  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
+  if (!emjoin::bench::ParseBenchFlags(&argc, argv, "extmem",
+                                      /*default_reps=*/3)) {
+    return 2;
+  }
   return emjoin::Run(argc, argv);
 }

@@ -45,22 +45,26 @@ void Run() {
     const auto rels2 = HardL5(&dev2, k, z1, z2);
     const auto relsa = HardL5(&deva, k, z1, z2);
 
-    const bench::Measured alg4 = bench::MeasureJoin(&dev4, [&](auto emit) {
-      core::LineJoinUnbalanced5(rels4[0], rels4[1], rels4[2], rels4[3],
-                                rels4[4], emit);
-    });
-    const bench::Measured alg2 = bench::MeasureJoin(&dev2, [&](auto emit) {
-      core::AcyclicJoin(rels2, emit);
-    });
-    core::CountingSink sink;
-    const core::AutoJoinReport report = core::JoinAuto(relsa, sink.AsEmitFn());
-
     const double pair_term = static_cast<double>(k) * z1 * z2 * k / (m * b);
     const double alg4_bound =
         static_cast<double>(k) * z1 * k /
             (static_cast<double>(m) * m * b) +
         2.0 * static_cast<double>(k) * z1 / b +
         static_cast<double>(2 * k + k * z1 + z1 + z2 * k) / b;
+    const bench::Measured alg4 = bench::MeasureJoin(
+        &dev4,
+        [&](auto emit) {
+          core::LineJoinUnbalanced5(rels4[0], rels4[1], rels4[2], rels4[3],
+                                    rels4[4], emit);
+        },
+        bench::InternSpanName("alg4_L5 z2=" + std::to_string(z2)),
+        alg4_bound, z2);
+    const bench::Measured alg2 = bench::MeasureJoin(
+        &dev2, [&](auto emit) { core::AcyclicJoin(rels2, emit); },
+        bench::InternSpanName("alg2_L5u z2=" + std::to_string(z2)), -1.0L,
+        z2);
+    core::CountingSink sink;
+    const core::AutoJoinReport report = core::JoinAuto(relsa, sink.AsEmitFn());
     table.AddRow({bench::U(z2), bench::F(pair_term), bench::F(alg4_bound),
                   bench::U(alg4.results), bench::U(alg4.ios),
                   bench::U(alg2.ios),
@@ -79,7 +83,7 @@ void Run() {
 }  // namespace emjoin
 
 int main(int argc, char** argv) {
-  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
+  if (!emjoin::bench::ParseBenchFlags(&argc, argv, "line5_unbalanced")) return 2;
   emjoin::Run();
-  return emjoin::bench::FinishTrace();
+  return emjoin::bench::FinishBench();
 }

@@ -33,8 +33,8 @@ void Run() {
   bench::Banner("T1.6 unbalanced L7: Algorithm 5 vs Algorithm 2",
                 "paper A.3: when a balancing condition of the alternating "
                 "cover breaks, Algorithm 5 is optimal");
-  bench::Table table({"z2", "results", "alg5_io", "alg2_io",
-                      "alg2/alg5", "auto_algorithm"});
+  bench::Table table({"z2", "results", "alg5_io", "alg5_bound", "io/bound",
+                      "alg2_io", "alg2/alg5", "auto_algorithm"});
   const TupleCount m = 64, b = 8, k = 128, z1 = 128;
   for (TupleCount z2 : {2, 8, 32, 64, 128, 256}) {
     extmem::Device dev5(m, b), dev2(m, b), deva(m, b);
@@ -42,17 +42,30 @@ void Run() {
     const auto rels2 = UnbalancedL7(&dev2, k, z1, z2);
     const auto relsa = UnbalancedL7(&deva, k, z1, z2);
 
-    const bench::Measured alg5 = bench::MeasureJoin(&dev5, [&](auto emit) {
-      core::LineJoinUnbalanced7(rels5, emit);
-    });
-    const bench::Measured alg2 = bench::MeasureJoin(&dev2, [&](auto emit) {
-      core::AcyclicJoin(rels2, emit);
-    });
+    // Appendix A.3 closed form: |S| = |R3 ⋈ R4 ⋈ R5| = z1*k, then the
+    // acyclic join over {R1, R2, S, R6, R7} is dominated by the
+    // independent set {R1, S, R7}: N1|S|N7/(M^2 B), plus materializing
+    // and re-reading S and the linear input scans.
+    const double s_size = static_cast<double>(z1) * k;
+    const double alg5_bound =
+        static_cast<double>(k) * s_size * k /
+            (static_cast<double>(m) * m * b) +
+        3.0 * s_size / b +
+        static_cast<double>(k + k * z1 + z1 + z2 * k + 3 * k) / b;
+    const bench::Measured alg5 = bench::MeasureJoin(
+        &dev5, [&](auto emit) { core::LineJoinUnbalanced7(rels5, emit); },
+        bench::InternSpanName("alg5_L7 z2=" + std::to_string(z2)),
+        alg5_bound, z2);
+    const bench::Measured alg2 = bench::MeasureJoin(
+        &dev2, [&](auto emit) { core::AcyclicJoin(rels2, emit); },
+        bench::InternSpanName("alg2_L7u z2=" + std::to_string(z2)), -1.0L,
+        z2);
     core::CountingSink sink;
     const core::AutoJoinReport report = core::JoinAuto(relsa, sink.AsEmitFn());
 
     table.AddRow({bench::U(z2), bench::U(alg5.results),
-                  bench::U(alg5.ios), bench::U(alg2.ios),
+                  bench::U(alg5.ios), bench::F(alg5_bound),
+                  bench::F(alg5.ios / alg5_bound), bench::U(alg2.ios),
                   bench::F(static_cast<double>(alg2.ios) / alg5.ios),
                   report.algorithm});
   }
@@ -69,7 +82,7 @@ void Run() {
 }  // namespace emjoin
 
 int main(int argc, char** argv) {
-  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
+  if (!emjoin::bench::ParseBenchFlags(&argc, argv, "line7_unbalanced")) return 2;
   emjoin::Run();
-  return emjoin::bench::FinishTrace();
+  return emjoin::bench::FinishBench();
 }

@@ -44,7 +44,9 @@ void Run() {
     const auto rels = LollipopInstance(&dev, core_dom, n);
     const double bound = bench::TheoremBound(rels, dev);
     const bench::Measured meas = bench::MeasureJoin(
-        &dev, [&](auto emit) { core::AcyclicJoin(rels, emit); });
+        &dev, [&](auto emit) { core::AcyclicJoin(rels, emit); },
+        bench::InternSpanName("lollipop d=" + std::to_string(core_dom)),
+        bound, n);
     const std::string regime =
         core_dom * core_dom <= n ? "N0<=Nn" : "N0>=Nn";
     table.AddRow({regime, bench::U(core_dom), bench::U(n),
@@ -62,7 +64,7 @@ void Run() {
 }  // namespace emjoin
 
 int main(int argc, char** argv) {
-  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
+  if (!emjoin::bench::ParseBenchFlags(&argc, argv, "lollipop")) return 2;
   emjoin::Run();
-  return emjoin::bench::FinishTrace();
+  return emjoin::bench::FinishBench();
 }

@@ -47,7 +47,7 @@ void Run() {
 }  // namespace emjoin
 
 int main(int argc, char** argv) {
-  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
+  if (!emjoin::bench::ParseBenchFlags(&argc, argv, "table1_line5")) return 2;
   emjoin::Run();
-  return emjoin::bench::FinishTrace();
+  return emjoin::bench::FinishBench();
 }

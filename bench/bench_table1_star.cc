@@ -29,8 +29,6 @@ void Run() {
     extmem::Device dev(m, b);
     const auto rels =
         workload::StarWorstCase(&dev, std::vector<TupleCount>(petals, n));
-    const bench::Measured meas = bench::MeasureJoin(
-        &dev, [&](auto emit) { core::AcyclicJoin(rels, emit); });
     double bound = 1.0;
     for (std::uint32_t i = 0; i < petals; ++i) {
       bound *= static_cast<double>(n);
@@ -40,6 +38,9 @@ void Run() {
     }
     bound /= static_cast<double>(b);
     bound += static_cast<double>(petals) * n / b;  // linear term
+    const bench::Measured meas = bench::MeasureJoin(
+        &dev, [&](auto emit) { core::AcyclicJoin(rels, emit); },
+        bench::InternSpanName("star p=" + std::to_string(petals)), bound, n);
     table.AddRow({bench::U(petals), bench::U(n), bench::U(m), bench::U(b),
                   bench::U(meas.results), bench::U(meas.ios),
                   bench::F(bound), bench::F(meas.ios / bound)});
@@ -54,7 +55,7 @@ void Run() {
 }  // namespace emjoin
 
 int main(int argc, char** argv) {
-  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
+  if (!emjoin::bench::ParseBenchFlags(&argc, argv, "table1_star")) return 2;
   emjoin::Run();
-  return emjoin::bench::FinishTrace();
+  return emjoin::bench::FinishBench();
 }

@@ -71,8 +71,8 @@ void RunInstanceOptimal() {
 }  // namespace emjoin
 
 int main(int argc, char** argv) {
-  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
+  if (!emjoin::bench::ParseBenchFlags(&argc, argv, "table1_two_relations")) return 2;
   emjoin::RunWorstCase();
   emjoin::RunInstanceOptimal();
-  return emjoin::bench::FinishTrace();
+  return emjoin::bench::FinishBench();
 }

@@ -127,8 +127,8 @@ void RunLw() {
 }  // namespace emjoin
 
 int main(int argc, char** argv) {
-  if (!emjoin::bench::ParseTraceFlags(&argc, argv)) return 2;
+  if (!emjoin::bench::ParseBenchFlags(&argc, argv, "triangle_lw")) return 2;
   emjoin::RunTriangle();
   emjoin::RunLw();
-  return emjoin::bench::FinishTrace();
+  return emjoin::bench::FinishBench();
 }

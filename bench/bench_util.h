@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <set>
@@ -13,7 +14,10 @@
 
 #include "core/emit.h"
 #include "extmem/device.h"
+#include "extmem/fault_injector.h"
 #include "gens/psi.h"
+#include "metrics/collect.h"
+#include "metrics/obs.h"
 #include "trace/sinks.h"
 #include "trace/tracer.h"
 
@@ -83,6 +87,12 @@ inline bool ParseTraceFlags(int* argc, char** argv) {
 /// Attaches the global tracer to `dev` iff tracing was requested.
 inline void AttachTracer(extmem::Device* dev) {
   if (GlobalTraceConfig().enabled) dev->set_tracer(&GlobalTracer());
+}
+
+/// Attaches every requested observer (tracer, metrics registry).
+inline void AttachObservers(extmem::Device* dev) {
+  AttachTracer(dev);
+  metrics::AttachMetrics(dev);
 }
 
 /// Interns a dynamic span name (SpanRecord stores a borrowed pointer).
@@ -185,27 +195,6 @@ struct Measured {
   std::uint64_t results = 0;
 };
 
-/// When tracing is enabled the run is wrapped in a root span named
-/// `span_name`; pass `expect_ios` (the paper's formula value for this
-/// instance) to annotate the span for measured/expected reporting.
-inline Measured MeasureJoin(
-    extmem::Device* dev,
-    const std::function<void(const core::EmitFn&)>& run,
-    const char* span_name = "join", long double expect_ios = -1.0L) {
-  AttachTracer(dev);
-  core::CountingSink sink;
-  const extmem::IoStats before = dev->stats();
-  {
-    trace::Span span(dev, span_name);
-    if (expect_ios >= 0.0L) span.ExpectIos(expect_ios);
-    run(sink.AsEmitFn());
-  }
-  Measured m;
-  m.ios = (dev->stats() - before).total();
-  m.results = sink.count();
-  return m;
-}
-
 /// Instance-exact Theorem 3 bound (max Ψ + linear term) for reporting.
 inline double TheoremBound(const std::vector<storage::Relation>& rels,
                            const extmem::Device& dev) {
@@ -235,6 +224,7 @@ inline std::uint64_t NowNs() {
 ///                            "config": {"M": int, "B": int, "n": int},
 ///                            "ios": int, "wall_ns": int, "results": int,
 ///                            "peak_mem": int,
+///                            "expect": float,   // only when a bound is known
 ///                            "tags": {tag: {"reads": int,
 ///                                           "writes": int}, ...}}, ...]}
 class Reporter {
@@ -248,6 +238,9 @@ class Reporter {
     std::uint64_t wall_ns = 0;  // best-of-repetitions wall clock
     std::uint64_t results = 0;  // tuples produced / consumed
     std::uint64_t peak_mem = 0; // gauge high-water during the first rep
+    // The paper's formula value for this instance; < 0 when the bench
+    // has no closed-form claim for the record.
+    long double expect = -1.0L;
     // Per-tag I/O deltas for the first repetition (nonzero tags only).
     std::map<std::string, extmem::IoStats, std::less<>> tags;
   };
@@ -259,7 +252,7 @@ class Reporter {
   /// for the first repetition (reruns charge identically).
   void Measure(const std::string& bench, extmem::Device* dev, std::uint64_t n,
                int reps, const std::function<std::uint64_t()>& fn) {
-    AttachTracer(dev);
+    AttachObservers(dev);
     Record rec;
     rec.bench = bench;
     rec.m = dev->M();
@@ -288,6 +281,9 @@ class Reporter {
             delta = after - it->second;
           }
           if (delta.total() > 0) rec.tags[tag] = delta;
+        }
+        if (metrics::Registry* reg = dev->metrics()) {
+          metrics::CollectDeviceDelta(*dev, before, tags_before, reg);
         }
       }
     }
@@ -321,7 +317,7 @@ class Reporter {
                    "    {\"bench\": \"%s\", "
                    "\"config\": {\"M\": %llu, \"B\": %llu, \"n\": %llu}, "
                    "\"ios\": %llu, \"wall_ns\": %llu, \"results\": %llu, "
-                   "\"peak_mem\": %llu, \"tags\": {",
+                   "\"peak_mem\": %llu, ",
                    r.bench.c_str(), static_cast<unsigned long long>(r.m),
                    static_cast<unsigned long long>(r.b),
                    static_cast<unsigned long long>(r.n),
@@ -329,6 +325,10 @@ class Reporter {
                    static_cast<unsigned long long>(r.wall_ns),
                    static_cast<unsigned long long>(r.results),
                    static_cast<unsigned long long>(r.peak_mem));
+      if (r.expect >= 0.0L) {
+        std::fprintf(f, "\"expect\": %.3Lf, ", r.expect);
+      }
+      std::fprintf(f, "\"tags\": {");
       bool first_tag = true;
       for (const auto& [tag, io] : r.tags) {
         std::fprintf(f, "%s\"%s\": {\"reads\": %llu, \"writes\": %llu}",
@@ -349,6 +349,202 @@ class Reporter {
  private:
   std::vector<Record> records_;
 };
+
+/// Every bench's records funnel into one reporter so FinishBench can
+/// write the whole run as BENCH_<name>.json for the regression gate.
+inline Reporter& GlobalReporter() {
+  static Reporter reporter;
+  return reporter;
+}
+
+/// Per-bench run configuration, filled in by ParseBenchFlags.
+struct BenchConfig {
+  std::string name;       // e.g. "table1_line3"
+  bool write_json = true; // --no-json disables
+  std::string json_path;  // default BENCH_<name>.json
+  int reps = 1;           // --reps=K for wall-clock best-of-K
+};
+
+inline BenchConfig& GlobalBenchConfig() {
+  static BenchConfig config;
+  return config;
+}
+
+/// One-stop flag parsing for bench mains: strips trace flags
+/// (--trace[=PATH], --trace-format=...), observability flags
+/// (--metrics=PATH, --metrics-format=..., --audit=PATH) and the bench
+/// output flags --json[=PATH], --no-json, --reps=K from argv, leaving
+/// any bench-specific flags in place. Returns false (diagnostic
+/// printed) on a malformed value; callers should exit nonzero.
+inline bool ParseBenchFlags(int* argc, char** argv, const std::string& name,
+                            int default_reps = 1) {
+  BenchConfig& config = GlobalBenchConfig();
+  config.name = name;
+  config.json_path = "BENCH_" + name + ".json";
+  config.reps = default_reps;
+  if (!ParseTraceFlags(argc, argv)) return false;
+  bool ok = true;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    const int obs = metrics::ParseObsFlag(arg);
+    if (obs != 0) {
+      if (obs < 0) ok = false;
+      continue;
+    }
+    if (arg == "--json") {
+      config.write_json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      config.write_json = true;
+      config.json_path = std::string(arg.substr(7));
+    } else if (arg == "--no-json") {
+      config.write_json = false;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      config.reps = std::atoi(arg.substr(7).data());
+      if (config.reps < 1) config.reps = 1;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return ok;
+}
+
+/// When tracing is enabled the run is wrapped in a root span named
+/// `span_name`; pass `expect_ios` (the paper's formula value for this
+/// instance) to annotate the span for measured/expected reporting.
+/// Every call also appends a record to GlobalReporter so FinishBench
+/// can write the bench's JSON file; pass `n` (the workload scale) so
+/// the record keys stay unique for bench_diff.
+inline Measured MeasureJoin(
+    extmem::Device* dev,
+    const std::function<void(const core::EmitFn&)>& run,
+    const char* span_name = "join", long double expect_ios = -1.0L,
+    std::uint64_t n = 0) {
+  AttachObservers(dev);
+  core::CountingSink sink;
+  const extmem::IoStats before = dev->stats();
+  const metrics::TagSnapshot tags_before = dev->per_tag();
+  const extmem::FaultStats faults_before =
+      dev->fault_injector() != nullptr ? dev->fault_injector()->stats()
+                                       : extmem::FaultStats{};
+  const std::uint64_t t0 = NowNs();
+  {
+    trace::Span span(dev, span_name);
+    if (expect_ios >= 0.0L) span.ExpectIos(expect_ios);
+    run(sink.AsEmitFn());
+  }
+  const std::uint64_t elapsed = NowNs() - t0;
+
+  Reporter::Record rec;
+  rec.bench = span_name;
+  rec.m = dev->M();
+  rec.b = dev->B();
+  rec.n = n;
+  rec.ios = (dev->stats() - before).total();
+  rec.wall_ns = elapsed;
+  rec.results = sink.count();
+  rec.peak_mem = dev->gauge().high_water();
+  rec.expect = expect_ios;
+  for (const auto& [tag, after] : dev->per_tag()) {
+    extmem::IoStats delta = after;
+    if (const auto it = tags_before.find(tag); it != tags_before.end()) {
+      delta = after - it->second;
+    }
+    if (delta.total() > 0) rec.tags[tag] = delta;
+  }
+  if (metrics::Registry* reg = dev->metrics()) {
+    metrics::CollectDeviceDelta(*dev, before, tags_before, reg);
+    if (dev->fault_injector() != nullptr) {
+      metrics::CollectFaultDelta(
+          dev->fault_injector()->stats() - faults_before, reg);
+    }
+  }
+
+  Measured m;
+  m.ios = rec.ios;
+  m.results = rec.results;
+  GlobalReporter().Add(std::move(rec));
+  return m;
+}
+
+/// Writes the measured-vs-bound audit for every record that carries an
+/// expected value, in the same {"rows": [...]} shape emjoin_audit uses
+/// so bench_diff can gate it. A row passes when measured/expected stays
+/// within [1/64, 64] — the bench-level band is generous because single
+/// points carry no slope information.
+inline bool WriteBenchAudit(const std::string& path) {
+  const auto& records = GlobalReporter().records();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  // One-sided, like emjoin_audit: a Table 1 claim is an upper bound,
+  // so only exceeding it (beyond the constant-factor band plus a
+  // partial-block rounding slack) is a failure.
+  constexpr double kBand = 64.0;
+  constexpr double kSlackIos = 64.0;
+  bool all_pass = true;
+  std::string rows;
+  std::size_t audited = 0;
+  for (const Reporter::Record& r : records) {
+    if (r.expect < 0.0L) continue;
+    const double expected = static_cast<double>(r.expect);
+    const double ratio =
+        expected > 0 ? static_cast<double>(r.ios) / expected : 0.0;
+    const bool pass =
+        static_cast<double>(r.ios) <= kBand * expected + kSlackIos;
+    all_pass = all_pass && pass;
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "%s    {\"name\": \"%s|M=%llu|B=%llu|n=%llu\", "
+                  "\"measured\": %llu, \"expected\": %.3f, "
+                  "\"ratio\": %.4f, \"verdict\": \"%s\"}",
+                  audited == 0 ? "" : ",\n", r.bench.c_str(),
+                  static_cast<unsigned long long>(r.m),
+                  static_cast<unsigned long long>(r.b),
+                  static_cast<unsigned long long>(r.n),
+                  static_cast<unsigned long long>(r.ios), expected, ratio,
+                  pass ? "PASS" : "FAIL");
+    rows += buf;
+    ++audited;
+  }
+  std::fprintf(f,
+               "{\n  \"schema\": \"emjoin-bench-audit-v1\",\n"
+               "  \"all_pass\": %s,\n  \"rows\": [\n%s\n  ]\n}\n",
+               all_pass ? "true" : "false", rows.c_str());
+  std::fclose(f);
+  return true;
+}
+
+/// Flushes everything a bench accumulated: the BENCH_<name>.json
+/// reporter records, the metrics registry (--metrics), the
+/// measured-vs-bound audit (--audit) and the trace. Call at the end of
+/// main and return the result as the exit code.
+inline int FinishBench() {
+  const BenchConfig& config = GlobalBenchConfig();
+  int rc = 0;
+  if (config.write_json && !GlobalReporter().records().empty()) {
+    if (GlobalReporter().WriteJson(config.json_path)) {
+      std::fprintf(stderr, "bench: %zu records -> %s\n",
+                   GlobalReporter().records().size(),
+                   config.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
+      rc = 1;
+    }
+  }
+  if (!metrics::WriteMetricsFile()) rc = 1;
+  const std::string& audit_path = metrics::GlobalObsConfig().audit_path;
+  if (!audit_path.empty()) {
+    if (WriteBenchAudit(audit_path)) {
+      std::fprintf(stderr, "audit -> %s\n", audit_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", audit_path.c_str());
+      rc = 1;
+    }
+  }
+  const int trace_rc = FinishTrace();
+  return rc != 0 ? rc : trace_rc;
+}
 
 }  // namespace emjoin::bench
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/reduce.h"
+#include "metrics/registry.h"
 #include "query/classify.h"
 #include "trace/tracer.h"
 
@@ -226,6 +227,9 @@ void Executor::PeelLeaf(std::vector<LiveRel> rels,
   auto flush = [&] {
     if (chunk.empty()) return;
     span.Count("light_chunks", 1);
+    if (metrics::Registry* reg = dev_->metrics()) [[unlikely]] {
+      reg->GetHistogram("emjoin_emit_batch_tuples")->Record(chunk.size());
+    }
     const std::vector<Value> vals = chunk.DistinctValues(leaf_vcol);
 
     // R'(M1): neighbours semijoined with the chunk; v stays in the

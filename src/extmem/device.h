@@ -16,6 +16,10 @@ namespace emjoin::trace {
 class Tracer;
 }  // namespace emjoin::trace
 
+namespace emjoin::metrics {
+class Registry;
+}  // namespace emjoin::metrics
+
 namespace emjoin::extmem {
 
 class DiskFile;
@@ -46,6 +50,7 @@ class Device {
   const IoStats& stats() const { return stats_; }
 
   MemoryGauge& gauge() { return gauge_; }
+  const MemoryGauge& gauge() const { return gauge_; }
 
   /// Creates an empty file whose tuples have `width` values each.
   std::shared_ptr<DiskFile> NewFile(std::uint32_t width);
@@ -120,6 +125,18 @@ class Device {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
+  /// Optional metrics registry hook (see metrics/registry.h). Like the
+  /// tracer, the registry is a pure observer: instrumented substrate
+  /// code (sorter fan-ins and run lengths, operator emit batches)
+  /// records distributions through this pointer, and aggregate views
+  /// (per-tag I/O, fault tallies, peak residency) are collected as
+  /// before/after snapshots by metrics/collect.h. Detached (nullptr,
+  /// the default) costs one branch at each instrumentation point, and
+  /// attaching a registry changes zero block counts (pinned by
+  /// io_invariance tests).
+  void set_metrics(metrics::Registry* registry) { metrics_ = registry; }
+  metrics::Registry* metrics() const { return metrics_; }
+
   /// The tuple budget operators should plan against: min(M, enforced
   /// gauge limit). This is also the safe point where pending
   /// injector-scheduled budget shrinks take effect (shrinks are applied
@@ -158,6 +175,7 @@ class Device {
   std::map<std::string, IoStats, std::less<>> per_tag_;
   trace::Tracer* tracer_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  metrics::Registry* metrics_ = nullptr;
 };
 
 /// RAII I/O-attribution scope: all charges on `device` between

@@ -79,7 +79,35 @@ struct FaultStats {
   std::uint64_t TotalFaults() const {
     return read_faults + write_faults + torn_writes;
   }
+
+  std::uint64_t TotalActivity() const {
+    return TotalFaults() + retries + backoff_ios + shrinks + exhaustions;
+  }
+
+  bool operator==(const FaultStats&) const = default;
 };
+
+/// Field-wise sum, for rolling span deltas up into trace totals.
+inline FaultStats operator+(const FaultStats& a, const FaultStats& b) {
+  return FaultStats{a.read_faults + b.read_faults,
+                    a.write_faults + b.write_faults,
+                    a.torn_writes + b.torn_writes,
+                    a.retries + b.retries,
+                    a.backoff_ios + b.backoff_ios,
+                    a.shrinks + b.shrinks,
+                    a.exhaustions + b.exhaustions};
+}
+
+/// Field-wise delta, for before/after snapshots (spans, collectors).
+inline FaultStats operator-(const FaultStats& a, const FaultStats& b) {
+  return FaultStats{a.read_faults - b.read_faults,
+                    a.write_faults - b.write_faults,
+                    a.torn_writes - b.torn_writes,
+                    a.retries - b.retries,
+                    a.backoff_ios - b.backoff_ios,
+                    a.shrinks - b.shrinks,
+                    a.exhaustions - b.exhaustions};
+}
 
 /// Deterministic, seeded fault source for a Device. The device consults
 /// it at every block charge (read/write) and at every planning poll; the

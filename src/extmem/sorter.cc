@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "metrics/registry.h"
 #include "trace/tracer.h"
 
 namespace emjoin::extmem {
@@ -788,12 +789,23 @@ FilePtr SortImpl(const FileRange& input,
     trace::Span run_span(dev, "sort.runs");
     runs = FormRuns(input, key_cols);
     run_span.Count("runs_formed", runs.size());
+    if (metrics::Registry* reg = dev->metrics()) [[unlikely]] {
+      metrics::Histogram* hist = reg->GetHistogram("emjoin_sort_run_tuples");
+      for (const FilePtr& run : runs) hist->Record(run->size());
+    }
     Checkpoint(manifest, runs, 0);
   }
 
+  metrics::Histogram* fanin_hist = nullptr;
+  if (metrics::Registry* reg = dev->metrics()) [[unlikely]] {
+    fanin_hist = reg->GetHistogram("emjoin_sort_merge_fanin");
+  }
   while (runs.size() > 1) {
     trace::Span pass_span(dev, "sort.merge_pass");
     span.Count("merge_passes", 1);
+    if (fanin_hist != nullptr) [[unlikely]] {
+      dev->metrics()->GetCounter("emjoin_sort_merge_passes_total")->Add(1);
+    }
     // Fan-in is re-planned per pass against the current budget: a
     // shrunken budget lowers the fan-in (floor 2), trading extra passes
     // — the logarithmic factor the bounds suppress — for staying inside
@@ -819,6 +831,7 @@ FilePtr SortImpl(const FileRange& input,
       }
       pass_span.Count("merge_groups", 1);
       pass_span.Count("merge_fanin", end - i);
+      if (fanin_hist != nullptr) [[unlikely]] fanin_hist->Record(end - i);
       const std::span<const FilePtr> group(runs.data() + i, end - i);
       std::uint32_t attempts = 0;
       for (;;) {

@@ -1,0 +1,104 @@
+#ifndef EMJOIN_METRICS_OBS_H_
+#define EMJOIN_METRICS_OBS_H_
+
+// Shared observability flag surface for the benches and emjoin_cli:
+//
+//   --metrics=PATH             export the global metrics registry
+//   --metrics-format={json,prom}   export format (default json)
+//   --audit=PATH               write a measured-vs-bound audit file
+//
+// Header-only so tools and benches share one parser without a new
+// library target. The registry itself stays observer-only: attaching
+// it to a Device changes zero charged I/Os (pinned by io_invariance).
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "extmem/device.h"
+#include "metrics/registry.h"
+
+namespace emjoin::metrics {
+
+struct ObsConfig {
+  bool metrics_enabled = false;
+  std::string metrics_path;
+  std::string metrics_format = "json";  // json | prom
+  std::string audit_path;               // empty: no audit output
+};
+
+inline ObsConfig& GlobalObsConfig() {
+  static ObsConfig config;
+  return config;
+}
+
+/// The process-wide registry every instrumented Device feeds.
+inline Registry& GlobalMetricsRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+/// Tries to consume one observability flag. Returns 1 when `arg` was
+/// consumed, 0 when it is not an observability flag, -1 on a malformed
+/// value (diagnostic already printed to stderr).
+inline int ParseObsFlag(std::string_view arg) {
+  ObsConfig& config = GlobalObsConfig();
+  if (arg.rfind("--metrics=", 0) == 0) {
+    config.metrics_enabled = true;
+    config.metrics_path = std::string(arg.substr(10));
+    if (config.metrics_path.empty()) {
+      std::fprintf(stderr, "--metrics requires a path\n");
+      return -1;
+    }
+    return 1;
+  }
+  if (arg.rfind("--metrics-format=", 0) == 0) {
+    config.metrics_format = std::string(arg.substr(17));
+    if (config.metrics_format != "json" && config.metrics_format != "prom") {
+      std::fprintf(stderr,
+                   "unknown metrics format '%s' (expected json or prom)\n",
+                   config.metrics_format.c_str());
+      return -1;
+    }
+    return 1;
+  }
+  if (arg.rfind("--audit=", 0) == 0) {
+    config.audit_path = std::string(arg.substr(8));
+    if (config.audit_path.empty()) {
+      std::fprintf(stderr, "--audit requires a path\n");
+      return -1;
+    }
+    return 1;
+  }
+  return 0;
+}
+
+/// Attaches the global registry to `dev` iff --metrics was requested.
+inline void AttachMetrics(extmem::Device* dev) {
+  if (GlobalObsConfig().metrics_enabled) {
+    dev->set_metrics(&GlobalMetricsRegistry());
+  }
+}
+
+/// Writes the global registry to the configured path. Returns false
+/// (after a diagnostic) only when a requested export cannot be written.
+inline bool WriteMetricsFile() {
+  const ObsConfig& config = GlobalObsConfig();
+  if (!config.metrics_enabled) return true;
+  const Registry& reg = GlobalMetricsRegistry();
+  const bool ok = config.metrics_format == "prom"
+                      ? reg.WritePrometheus(config.metrics_path)
+                      : reg.WriteJson(config.metrics_path);
+  if (!ok) {
+    std::fprintf(stderr, "failed to write metrics to %s\n",
+                 config.metrics_path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "metrics (%s) -> %s\n", config.metrics_format.c_str(),
+               config.metrics_path.c_str());
+  return true;
+}
+
+}  // namespace emjoin::metrics
+
+#endif  // EMJOIN_METRICS_OBS_H_

@@ -1,0 +1,195 @@
+#include "metrics/registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace emjoin::metrics {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+std::string U64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string Registry::LabelKey(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ",";
+    key += sorted[i].first;
+    key += "=\"";
+    AppendEscaped(&key, sorted[i].second);
+    key += "\"";
+  }
+  key += "}";
+  return key;
+}
+
+Counter* Registry::GetCounter(const std::string& family,
+                              const Labels& labels) {
+  return &counters_[family][LabelKey(labels)];
+}
+
+Gauge* Registry::GetGauge(const std::string& family, const Labels& labels) {
+  return &gauges_[family][LabelKey(labels)];
+}
+
+Histogram* Registry::GetHistogram(const std::string& family,
+                                  const Labels& labels) {
+  return &histograms_[family][LabelKey(labels)];
+}
+
+void Registry::MergeFrom(const Registry& other) {
+  for (const auto& [family, series] : other.counters_) {
+    for (const auto& [key, counter] : series) {
+      counters_[family][key].Add(counter.value());
+    }
+  }
+  for (const auto& [family, series] : other.gauges_) {
+    for (const auto& [key, gauge] : series) {
+      gauges_[family][key].SetMax(gauge.value());
+    }
+  }
+  for (const auto& [family, series] : other.histograms_) {
+    for (const auto& [key, hist] : series) {
+      histograms_[family][key].MergeFrom(hist);
+    }
+  }
+}
+
+std::string Registry::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [family, series] : counters_) {
+    for (const auto& [key, counter] : series) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    \"";
+      AppendEscaped(&out, family + key);
+      out += "\": " + U64(counter.value());
+    }
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [family, series] : gauges_) {
+    for (const auto& [key, gauge] : series) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    \"";
+      AppendEscaped(&out, family + key);
+      out += "\": " + U64(gauge.value());
+    }
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [family, series] : histograms_) {
+    for (const auto& [key, hist] : series) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    \"";
+      AppendEscaped(&out, family + key);
+      out += "\": {\"count\": " + U64(hist.count()) +
+             ", \"sum\": " + U64(hist.sum()) + ", \"buckets\": {";
+      bool first_bucket = true;
+      const auto& buckets = hist.buckets();
+      for (int i = 0; i <= Histogram::kFiniteBuckets; ++i) {
+        if (buckets[static_cast<std::size_t>(i)] == 0) continue;
+        if (!first_bucket) out += ", ";
+        first_bucket = false;
+        out += "\"";
+        out += i == Histogram::kFiniteBuckets ? "+Inf"
+                                              : U64(Histogram::BucketBound(i));
+        out += "\": " + U64(buckets[static_cast<std::size_t>(i)]);
+      }
+      out += "}}";
+    }
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string Registry::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [family, series] : counters_) {
+    out += "# TYPE " + family + " counter\n";
+    for (const auto& [key, counter] : series) {
+      out += family + key + " " + U64(counter.value()) + "\n";
+    }
+  }
+  for (const auto& [family, series] : gauges_) {
+    out += "# TYPE " + family + " gauge\n";
+    for (const auto& [key, gauge] : series) {
+      out += family + key + " " + U64(gauge.value()) + "\n";
+    }
+  }
+  for (const auto& [family, series] : histograms_) {
+    out += "# TYPE " + family + " histogram\n";
+    for (const auto& [key, hist] : series) {
+      // Prometheus buckets are cumulative and each carries an `le` label
+      // appended to the series' own labels.
+      const std::string prefix =
+          key.empty() ? family + "_bucket{"
+                      : family + "_bucket" + key.substr(0, key.size() - 1) +
+                            ",";
+      std::uint64_t cumulative = 0;
+      const auto& buckets = hist.buckets();
+      for (int i = 0; i <= Histogram::kFiniteBuckets; ++i) {
+        cumulative += buckets[static_cast<std::size_t>(i)];
+        // Emit only buckets that change the cumulative count, plus +Inf
+        // (mandatory), to keep the exposition compact.
+        const bool last = i == Histogram::kFiniteBuckets;
+        if (!last && buckets[static_cast<std::size_t>(i)] == 0) continue;
+        out += prefix + "le=\"" +
+               (last ? "+Inf" : U64(Histogram::BucketBound(i))) + "\"} " +
+               U64(cumulative) + "\n";
+      }
+      out += family + "_sum" + key + " " + U64(hist.sum()) + "\n";
+      out += family + "_count" + key + " " + U64(hist.count()) + "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+bool WriteFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+}  // namespace
+
+bool Registry::WriteJson(const std::string& path) const {
+  return WriteFile(path, ToJson());
+}
+
+bool Registry::WritePrometheus(const std::string& path) const {
+  return WriteFile(path, ToPrometheusText());
+}
+
+}  // namespace emjoin::metrics

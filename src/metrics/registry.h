@@ -1,0 +1,140 @@
+#ifndef EMJOIN_METRICS_REGISTRY_H_
+#define EMJOIN_METRICS_REGISTRY_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace emjoin::metrics {
+
+/// A label set attached to one series of a metric family, e.g.
+/// {{"op", "read"}, {"tag", "sort"}}. Labels are sorted by key before a
+/// series is materialized, so insertion order never changes identity or
+/// output order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(std::uint64_t delta) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time value. Merging registries keeps the max, which is the
+/// right semantics for the peaks (resident tuples, high water) this
+/// subsystem tracks; use a Counter for anything additive.
+class Gauge {
+ public:
+  void Set(std::uint64_t v) { value_ = v; }
+  void SetMax(std::uint64_t v) {
+    if (v > value_) value_ = v;
+  }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Log2-bucketed histogram: bucket i counts observations with
+/// value <= 2^i (non-cumulative storage; the Prometheus exposition
+/// accumulates). Covers 2^0 .. 2^(kFiniteBuckets-1) plus an overflow
+/// (+Inf) bucket, which is plenty for fan-ins, run lengths, and batch
+/// sizes in a simulator whose instances are < 2^32 tuples.
+class Histogram {
+ public:
+  static constexpr int kFiniteBuckets = 32;
+
+  /// Index of the smallest power-of-two upper bound holding `v`
+  /// (0 and 1 land in bucket 0, 2 in 1, 3..4 in 2, ...).
+  static int BucketFor(std::uint64_t v) {
+    if (v <= 1) return 0;
+    const int bucket = std::bit_width(v - 1);
+    return bucket < kFiniteBuckets ? bucket : kFiniteBuckets;
+  }
+
+  /// Upper bound of finite bucket i (2^i).
+  static std::uint64_t BucketBound(int i) { return std::uint64_t{1} << i; }
+
+  void Record(std::uint64_t v) {
+    ++counts_[static_cast<std::size_t>(BucketFor(v))];
+    sum_ += v;
+    ++count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  const std::array<std::uint64_t, kFiniteBuckets + 1>& buckets() const {
+    return counts_;
+  }
+
+  void MergeFrom(const Histogram& other) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    sum_ += other.sum_;
+    count_ += other.count_;
+  }
+
+ private:
+  std::array<std::uint64_t, kFiniteBuckets + 1> counts_{};
+  std::uint64_t sum_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Registry of named metric families, each fanned out by label set.
+///
+/// Like the tracer, the registry is a pure observer: instrumented code
+/// holds a `Registry*` that is nullptr by default, and attaching one
+/// never charges or suppresses an I/O (pinned by io_invariance tests).
+/// Lookups return stable pointers (node-based storage), so hot loops
+/// can resolve a series once and bump it repeatedly. Single-threaded,
+/// like the rest of the simulator; per-shard registries are combined
+/// with MergeFrom.
+class Registry {
+ public:
+  Counter* GetCounter(const std::string& family, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& family, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& family,
+                          const Labels& labels = {});
+
+  /// Folds `other` in: counters and histograms add, gauges keep the max.
+  void MergeFrom(const Registry& other);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// JSON object with "counters" / "gauges" / "histograms" sections;
+  /// series keys are `family{label="value",...}`. Deterministic order.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format (one # TYPE line per family,
+  /// cumulative histogram buckets with _bucket/_sum/_count series).
+  std::string ToPrometheusText() const;
+
+  bool WriteJson(const std::string& path) const;
+  bool WritePrometheus(const std::string& path) const;
+
+  /// Canonical series key: `{k1="v1",k2="v2"}` with keys sorted, or ""
+  /// for a label-free series.
+  static std::string LabelKey(const Labels& labels);
+
+ private:
+  template <typename T>
+  using FamilyMap = std::map<std::string, std::map<std::string, T>>;
+
+  FamilyMap<Counter> counters_;
+  FamilyMap<Gauge> gauges_;
+  FamilyMap<Histogram> histograms_;
+};
+
+}  // namespace emjoin::metrics
+
+#endif  // EMJOIN_METRICS_REGISTRY_H_

@@ -52,6 +52,26 @@ std::string TagsJson(
   return out + "}";
 }
 
+// {"read_faults": r, ..., "exhaustions": e} — only nonzero kinds.
+std::string FaultsJson(const extmem::FaultStats& fs) {
+  std::string out = "{";
+  bool first = true;
+  const auto add = [&out, &first](const char* kind, std::uint64_t v) {
+    if (v == 0) return;
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + std::string(kind) + "\": " + U64(v);
+  };
+  add("read_faults", fs.read_faults);
+  add("write_faults", fs.write_faults);
+  add("torn_writes", fs.torn_writes);
+  add("retries", fs.retries);
+  add("backoff_ios", fs.backoff_ios);
+  add("shrinks", fs.shrinks);
+  add("exhaustions", fs.exhaustions);
+  return out + "}";
+}
+
 std::string CountersJson(
     const std::map<std::string, std::uint64_t, std::less<>>& counters) {
   std::string out = "{";
@@ -94,6 +114,10 @@ std::string TreeReport(const Tracer& tracer) {
     line += " peak_mem=" + U64(s.peak_resident);
     for (const auto& [name, v] : s.counters) {
       line += " " + name + "=" + U64(v);
+    }
+    if (s.has_faults && s.faults.TotalActivity() > 0) {
+      line += " faults=" + U64(s.faults.TotalFaults()) +
+              " retries=" + U64(s.faults.retries);
     }
     if (s.has_expect()) {
       line += " expect=" + Ld(s.expect_ios);
@@ -138,6 +162,9 @@ bool WriteJsonl(const Tracer& tracer, const std::string& path) {
     line += ", \"peak_resident\": " + U64(s.peak_resident);
     line += ", \"tags\": " + TagsJson(s.by_tag);
     line += ", \"counters\": " + CountersJson(s.counters);
+    if (s.has_faults && s.faults.TotalActivity() > 0) {
+      line += ", \"faults\": " + FaultsJson(s.faults);
+    }
     if (s.has_expect()) {
       line += ", \"expect_ios\": " + Ld(s.expect_ios);
     }
@@ -145,8 +172,20 @@ bool WriteJsonl(const Tracer& tracer, const std::string& path) {
     line += "}";
     std::fprintf(f, "%s\n", line.c_str());
   }
-  std::fprintf(f, "{\"event\": \"totals\", \"counters\": %s}\n",
-               CountersJson(tracer.totals()).c_str());
+  // Root spans partition the trace, so summing them (not every span)
+  // counts each injected fault exactly once.
+  extmem::FaultStats fault_totals;
+  bool any_faults = false;
+  for (const SpanRecord& s : tracer.spans()) {
+    if (s.parent == kNoSpan && s.has_faults) {
+      fault_totals = fault_totals + s.faults;
+      any_faults = true;
+    }
+  }
+  std::string totals_line = "{\"event\": \"totals\", \"counters\": " +
+                            CountersJson(tracer.totals());
+  if (any_faults) totals_line += ", \"faults\": " + FaultsJson(fault_totals);
+  std::fprintf(f, "%s}\n", totals_line.c_str());
   std::fclose(f);
   return true;
 }
@@ -170,6 +209,9 @@ bool WriteChromeTrace(const Tracer& tracer, const std::string& path) {
     if (!s.counters.empty()) {
       args += ", \"counters\": " + CountersJson(s.counters);
     }
+    if (s.has_faults && s.faults.TotalActivity() > 0) {
+      args += ", \"faults\": " + FaultsJson(s.faults);
+    }
     if (s.has_expect()) {
       args += ", \"expect_ios\": " + Ld(s.expect_ios);
       if (s.expect_ios > 0.0L) {
@@ -185,6 +227,20 @@ bool WriteChromeTrace(const Tracer& tracer, const std::string& path) {
                  ", \"pid\": 1, \"tid\": 1, \"args\": %s}",
                  JsonEscape(s.name).c_str(), s.open_clock,
                  s.inclusive.total(), args.c_str());
+  }
+  extmem::FaultStats fault_totals;
+  bool any_faults = false;
+  for (const SpanRecord& s : tracer.spans()) {
+    if (s.parent == kNoSpan && s.has_faults) {
+      fault_totals = fault_totals + s.faults;
+      any_faults = true;
+    }
+  }
+  if (any_faults) {
+    std::fprintf(f,
+                 ",\n  {\"ph\": \"M\", \"pid\": 1, \"name\": "
+                 "\"fault_totals\", \"args\": %s}",
+                 FaultsJson(fault_totals).c_str());
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);

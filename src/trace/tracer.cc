@@ -27,6 +27,10 @@ SpanId Tracer::OpenSpan(extmem::Device* dev, const char* name) {
   frame.dev = dev;
   frame.open_io = dev->stats();
   frame.open_tags = dev->per_tag();
+  if (const extmem::FaultInjector* inj = dev->fault_injector()) {
+    frame.open_faults = inj->stats();
+    frame.has_injector = true;
+  }
   stack_.push_back(std::move(frame));
   dev->gauge().PushWatermark();
   return id;
@@ -48,6 +52,15 @@ void Tracer::CloseSpan(SpanId id) {
       delta = now - it->second;
     }
     if (delta.total() != 0) rec.by_tag.emplace(tag, delta);
+  }
+  // An injector detached (or swapped in) mid-span yields no meaningful
+  // delta, so fault attribution requires the same injector view at both
+  // ends.
+  if (frame.has_injector) {
+    if (const extmem::FaultInjector* inj = dev->fault_injector()) {
+      rec.faults = inj->stats() - frame.open_faults;
+      rec.has_faults = true;
+    }
   }
   rec.closed = true;
   stack_.pop_back();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "extmem/device.h"
+#include "extmem/fault_injector.h"
 #include "extmem/io_stats.h"
 
 namespace emjoin::trace {
@@ -43,6 +44,13 @@ struct SpanRecord {
 
   /// Counters bumped via Tracer::AddCount while this span was innermost.
   std::map<std::string, std::uint64_t, std::less<>> counters;
+
+  /// Injected-fault activity (retries, backoff I/Os, shrinks, ...)
+  /// observed between open and close. has_faults is true only when a
+  /// FaultInjector was attached to the device at span open, so
+  /// fault-free traces carry no fault noise in their sinks.
+  extmem::FaultStats faults;
+  bool has_faults = false;
 
   /// Expected I/O cost from the paper's formulas (Span::ExpectIos);
   /// negative when unset. measured/expected is the per-phase ratio the
@@ -114,6 +122,8 @@ class Tracer {
     extmem::Device* dev = nullptr;
     extmem::IoStats open_io;
     std::map<std::string, extmem::IoStats, std::less<>> open_tags;
+    extmem::FaultStats open_faults;
+    bool has_injector = false;  // injector attached at span open
   };
 
   std::vector<SpanRecord> spans_;

@@ -1,0 +1,126 @@
+// Tests for the Table 1 cost-model catalog and the audit runner.
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/cost_model.h"
+
+namespace emjoin::metrics {
+namespace {
+
+TEST(Table1Models, CatalogIsCompleteAndWellFormed) {
+  const std::vector<CostModel> models = Table1Models();
+  ASSERT_GE(models.size(), 10u);
+  std::set<std::string> names;
+  for (const CostModel& m : models) {
+    EXPECT_TRUE(names.insert(m.name).second) << "duplicate " << m.name;
+    EXPECT_FALSE(m.row.empty()) << m.name;
+    EXPECT_FALSE(m.claim.empty()) << m.name;
+    EXPECT_GE(m.n_series.size(), 2u) << m.name;
+    EXPECT_TRUE(m.build != nullptr) << m.name;
+    EXPECT_TRUE(m.exec != nullptr) << m.name;
+    EXPECT_TRUE(m.expected != nullptr || m.expected_instance != nullptr)
+        << m.name;
+    if (!m.m_series.empty()) {
+      EXPECT_GT(m.m_series_n, 0u) << m.name;
+    }
+  }
+  // The acceptance floor: every Table 1 query class has a model.
+  for (const char* required :
+       {"two_rel_bnl", "line3_alg1", "line3_gens", "line4_alg2",
+        "line5_alg2", "star3_alg2", "equal_size_l5", "unbalanced5_alg4",
+        "unbalanced7_alg5", "yannakakis_gap", "triangle_c3", "lw3"}) {
+    EXPECT_TRUE(names.count(required)) << "missing model " << required;
+  }
+}
+
+TEST(Table1Models, ClosedFormsMatchHandComputation) {
+  const std::vector<CostModel> models = Table1Models();
+  const auto find = [&](const std::string& name) -> const CostModel& {
+    for (const CostModel& m : models) {
+      if (m.name == name) return m;
+    }
+    ADD_FAILURE() << "no model " << name;
+    return models.front();
+  };
+  // two relations: N^2/(MB) + 2N/B.
+  EXPECT_NEAR(static_cast<double>(find("two_rel_bnl").expected(1024, 64, 8)),
+              1024.0 * 1024 / (64 * 8) + 2 * 1024.0 / 8, 1e-6);
+  // L3: N1N3/(MB) + 3N/B on the symmetric worst case.
+  EXPECT_NEAR(static_cast<double>(find("line3_alg1").expected(512, 64, 8)),
+              512.0 * 512 / (64 * 8) + 3 * 512.0 / 8, 1e-6);
+  // Yannakakis is memory-oblivious: same cost at any M.
+  const CostModel& yann = find("yannakakis_gap");
+  EXPECT_EQ(yann.expected(256, 16, 8), yann.expected(256, 1024, 8));
+}
+
+TEST(FitSlope, RecoversPowerLawExponent) {
+  std::vector<std::pair<double, double>> xy;
+  for (const double x : {64.0, 128.0, 256.0, 512.0}) {
+    xy.emplace_back(std::log(x), std::log(7.0 * x * x));  // y = 7 x^2
+  }
+  EXPECT_NEAR(FitSlope(xy), 2.0, 1e-9);
+}
+
+TEST(FitSlope, DegenerateSeriesIsZero) {
+  EXPECT_EQ(FitSlope({}), 0.0);
+  EXPECT_EQ(FitSlope({{1.0, 2.0}}), 0.0);
+}
+
+// The audit runner is deterministic: two runs of the same (shrunken,
+// cheap) model measure identical I/Os and reach the same verdict.
+TEST(RunAudit, DeterministicAndPassesOnTwoRelations) {
+  std::vector<CostModel> models = Table1Models();
+  CostModel* model = nullptr;
+  for (CostModel& m : models) {
+    if (m.name == "two_rel_bnl") model = &m;
+  }
+  ASSERT_NE(model, nullptr);
+  model->n_series = {256, 512, 1024};
+  model->m_series = {64, 128};
+  model->m_series_n = 512;
+
+  const AuditRow first = RunAudit(*model);
+  const AuditRow second = RunAudit(*model);
+  ASSERT_EQ(first.n_points.size(), 3u);
+  ASSERT_EQ(first.m_points.size(), 2u);
+  for (std::size_t i = 0; i < first.n_points.size(); ++i) {
+    EXPECT_EQ(first.n_points[i].measured, second.n_points[i].measured);
+    EXPECT_EQ(first.n_points[i].results, second.n_points[i].results);
+  }
+  EXPECT_TRUE(first.pass) << [&] {
+    std::string all;
+    for (const std::string& f : first.failures) all += f + "; ";
+    return all;
+  }();
+  EXPECT_EQ(first.pass, second.pass);
+  // The claimed curve is an upper bound the BNL join actually tracks.
+  EXPECT_GT(first.ratio_min, 0.1);
+  EXPECT_LT(first.ratio_max, 10.0);
+}
+
+TEST(AuditToJson, EmitsSchemaAndVerdicts) {
+  AuditRow row;
+  row.name = "demo";
+  row.row = "Table 1";
+  row.claim = "N^2/(MB)";
+  row.pass = true;
+  CostPoint p;
+  p.n = 64;
+  p.m = 32;
+  p.b = 8;
+  p.measured = 100;
+  p.expected = 90;
+  row.n_points.push_back(p);
+  const std::string json = AuditToJson({row}, AuditOptions{});
+  EXPECT_NE(json.find("\"schema\": \"emjoin-audit-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"all_pass\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\": \"PASS\""), std::string::npos);
+  EXPECT_NE(json.find("\"measured\": 100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emjoin::metrics

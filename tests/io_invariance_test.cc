@@ -20,6 +20,8 @@
 #include "core/line3.h"
 #include "extmem/fault_injector.h"
 #include "extmem/sorter.h"
+#include "metrics/collect.h"
+#include "metrics/registry.h"
 #include "query/hypergraph.h"
 #include "storage/relation.h"
 #include "trace/tracer.h"
@@ -260,6 +262,78 @@ TEST(IoInvariance, EnforcementAtMKeepsGoldenCounts) {
   const auto tags = MergedTags(dev);
   ExpectTag(tags, "scan", 0, 313);
   ExpectTag(tags, "sort", 939, 939);
+}
+
+// The metrics registry is an observer like the tracer: attaching one
+// must change zero block charges. Rerun Golden A with a registry
+// attached (the sorter streams run-length / fan-in histograms into it)
+// and pin the exact golden counts; then fold the device delta into the
+// registry and check the exported per-tag counters equal the goldens —
+// the metrics view is consistent with the charge profile, not merely
+// harmless.
+TEST(IoInvariance, MetricsRegistryChangesNoCharges) {
+  extmem::Device dev(1024, 64);
+  metrics::Registry reg;
+  dev.set_metrics(&reg);
+
+  const std::vector<storage::Tuple> rows = XorshiftRows(20000);
+  const storage::Relation rel =
+      storage::Relation::FromTuples(&dev, storage::Schema({0, 1}), rows);
+  const std::uint32_t key[] = {0};
+  const extmem::FilePtr sorted = extmem::ExternalSort(rel.range(), key);
+
+  ExpectSorted(sorted, rows, key);
+  EXPECT_EQ(dev.stats().block_reads, 939u);
+  EXPECT_EQ(dev.stats().block_writes, 1252u);
+  const auto tags = MergedTags(dev);
+  ExpectTag(tags, "scan", 0, 313);
+  ExpectTag(tags, "sort", 939, 939);
+
+  // The live sort instrumentation observed runs and merge groups.
+  EXPECT_GT(reg.GetHistogram("emjoin_sort_run_tuples")->count(), 0u);
+  EXPECT_GT(reg.GetHistogram("emjoin_sort_merge_fanin")->count(), 0u);
+
+  // Collected counters must mirror the golden charge profile exactly.
+  metrics::CollectDeviceDelta(dev, extmem::IoStats{}, {}, &reg);
+  EXPECT_EQ(reg.GetCounter("emjoin_device_io_blocks_total",
+                           {{"op", "read"}, {"tag", "sort"}})
+                ->value(),
+            939u);
+  EXPECT_EQ(reg.GetCounter("emjoin_device_io_blocks_total",
+                           {{"op", "write"}, {"tag", "scan"}})
+                ->value(),
+            313u);
+  EXPECT_EQ(reg.GetCounter("emjoin_device_io_blocks_total", {{"op", "read"}})
+                ->value(),
+            939u);
+  EXPECT_EQ(reg.GetCounter("emjoin_device_io_blocks_total", {{"op", "write"}})
+                ->value(),
+            1252u);
+}
+
+// Golden C with a registry attached: the operator pipeline (semijoins,
+// peel emit batches) streams through Device::metrics() too, and must
+// still charge bit-identically.
+TEST(IoInvariance, MetricsOnJoinPipelineChangesNoCharges) {
+  extmem::Device dev(256, 16);
+  metrics::Registry reg;
+  dev.set_metrics(&reg);
+  const query::JoinQuery q = query::JoinQuery::Line(3);
+  workload::RandomOptions opt;
+  opt.seed = 7;
+  opt.domain_size = 32;
+  std::vector<storage::Relation> rels =
+      workload::RandomInstance(&dev, q, {3000, 2000, 3000}, opt);
+  core::CountingSink sink;
+  core::LineJoin3(rels[0], rels[1], rels[2], sink.AsEmitFn());
+
+  EXPECT_EQ(sink.count(), 1048576u);
+  EXPECT_EQ(dev.stats().block_reads, 2577u);
+  EXPECT_EQ(dev.stats().block_writes, 1472u);
+  const auto tags = MergedTags(dev);
+  ExpectTag(tags, "scan", 896, 192);
+  ExpectTag(tags, "semijoin", 721, 320);
+  ExpectTag(tags, "sort", 960, 960);
 }
 
 TEST(MergePasses, InMemoryInputNeedsNoMergePass) {

@@ -1,0 +1,158 @@
+// Unit tests for the metrics registry: histogram bucketing, series
+// identity, merge semantics (per-shard registries), and the JSON /
+// Prometheus expositions.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "metrics/registry.h"
+
+namespace emjoin::metrics {
+namespace {
+
+TEST(Histogram, BucketForPowersOfTwo) {
+  // 0 and 1 land in bucket 0 (bound 1); 2 in bucket 1 (bound 2);
+  // 3..4 in bucket 2 (bound 4); a value lands in the smallest bucket
+  // whose bound holds it.
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1), 0);
+  EXPECT_EQ(Histogram::BucketFor(2), 1);
+  EXPECT_EQ(Histogram::BucketFor(3), 2);
+  EXPECT_EQ(Histogram::BucketFor(4), 2);
+  EXPECT_EQ(Histogram::BucketFor(5), 3);
+  EXPECT_EQ(Histogram::BucketFor(8), 3);
+  EXPECT_EQ(Histogram::BucketFor(9), 4);
+  EXPECT_EQ(Histogram::BucketFor(1024), 10);
+  EXPECT_EQ(Histogram::BucketFor(1025), 11);
+}
+
+TEST(Histogram, ValueNeverExceedsItsBucketBound) {
+  for (std::uint64_t v : {1ull, 2ull, 3ull, 7ull, 100ull, 4095ull, 4097ull}) {
+    const int bucket = Histogram::BucketFor(v);
+    ASSERT_LT(bucket, Histogram::kFiniteBuckets);
+    EXPECT_LE(v, Histogram::BucketBound(bucket)) << "v=" << v;
+    if (bucket > 0) {
+      EXPECT_GT(v, Histogram::BucketBound(bucket - 1)) << "v=" << v;
+    }
+  }
+}
+
+TEST(Histogram, HugeValuesOverflow) {
+  EXPECT_EQ(Histogram::BucketFor(std::uint64_t{1} << 40),
+            Histogram::kFiniteBuckets);
+  Histogram h;
+  h.Record(std::uint64_t{1} << 40);
+  EXPECT_EQ(h.buckets()[Histogram::kFiniteBuckets], 1u);
+}
+
+TEST(Histogram, RecordTracksCountAndSum) {
+  Histogram h;
+  h.Record(3);
+  h.Record(4);
+  h.Record(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 107u);
+  EXPECT_EQ(h.buckets()[2], 2u);  // 3 and 4 share bucket (2,4]
+  EXPECT_EQ(h.buckets()[7], 1u);  // 100 <= 128
+}
+
+TEST(Registry, LabelKeyIsOrderInsensitive) {
+  const Labels a = {{"op", "read"}, {"tag", "sort"}};
+  const Labels b = {{"tag", "sort"}, {"op", "read"}};
+  EXPECT_EQ(Registry::LabelKey(a), Registry::LabelKey(b));
+  EXPECT_EQ(Registry::LabelKey(a), "{op=\"read\",tag=\"sort\"}");
+  EXPECT_EQ(Registry::LabelKey({}), "");
+}
+
+TEST(Registry, SeriesPointersAreStable) {
+  Registry reg;
+  Counter* c = reg.GetCounter("emjoin_test_total", {{"op", "read"}});
+  c->Add(1);
+  // Creating more series must not invalidate earlier pointers.
+  for (int i = 0; i < 100; ++i) {
+    reg.GetCounter("emjoin_test_total",
+                   {{"op", "x" + std::to_string(i)}});
+  }
+  EXPECT_EQ(reg.GetCounter("emjoin_test_total", {{"op", "read"}}), c);
+  c->Add(1);
+  EXPECT_EQ(c->value(), 2u);
+}
+
+TEST(Registry, MergeFromCombinesShards) {
+  // Per-shard registries: counters add, gauges keep the max (peak
+  // semantics), histograms merge bucket-wise.
+  Registry a, b;
+  a.GetCounter("emjoin_ops_total")->Add(3);
+  b.GetCounter("emjoin_ops_total")->Add(4);
+  b.GetCounter("emjoin_other_total")->Add(1);
+  a.GetGauge("emjoin_peak")->SetMax(10);
+  b.GetGauge("emjoin_peak")->SetMax(7);
+  a.GetHistogram("emjoin_sizes")->Record(4);
+  b.GetHistogram("emjoin_sizes")->Record(4);
+  b.GetHistogram("emjoin_sizes")->Record(1000);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("emjoin_ops_total")->value(), 7u);
+  EXPECT_EQ(a.GetCounter("emjoin_other_total")->value(), 1u);
+  EXPECT_EQ(a.GetGauge("emjoin_peak")->value(), 10u);
+  EXPECT_EQ(a.GetHistogram("emjoin_sizes")->count(), 3u);
+  EXPECT_EQ(a.GetHistogram("emjoin_sizes")->sum(), 1008u);
+  EXPECT_EQ(a.GetHistogram("emjoin_sizes")->buckets()[2], 2u);
+}
+
+TEST(Registry, MergeKeepsMaxGaugeEitherDirection) {
+  Registry a, b;
+  a.GetGauge("g")->Set(3);
+  b.GetGauge("g")->Set(9);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetGauge("g")->value(), 9u);
+}
+
+TEST(Registry, JsonExposition) {
+  Registry reg;
+  reg.GetCounter("emjoin_io_total", {{"op", "read"}})->Add(5);
+  reg.GetGauge("emjoin_peak")->Set(42);
+  reg.GetHistogram("emjoin_sizes")->Record(3);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"emjoin_io_total{op=\\\"read\\\"}\": 5"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"emjoin_peak\": 42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum\": 3"), std::string::npos) << json;
+}
+
+TEST(Registry, PrometheusGolden) {
+  Registry reg;
+  reg.GetCounter("emjoin_io_total", {{"op", "read"}})->Add(5);
+  reg.GetGauge("emjoin_peak")->Set(42);
+  Histogram* h = reg.GetHistogram("emjoin_sizes");
+  h->Record(3);
+  h->Record(4);
+  h->Record(9);
+
+  const std::string expected =
+      "# TYPE emjoin_io_total counter\n"
+      "emjoin_io_total{op=\"read\"} 5\n"
+      "# TYPE emjoin_peak gauge\n"
+      "emjoin_peak 42\n"
+      "# TYPE emjoin_sizes histogram\n"
+      "emjoin_sizes_bucket{le=\"4\"} 2\n"
+      "emjoin_sizes_bucket{le=\"16\"} 3\n"
+      "emjoin_sizes_bucket{le=\"+Inf\"} 3\n"
+      "emjoin_sizes_sum 16\n"
+      "emjoin_sizes_count 3\n";
+  EXPECT_EQ(reg.ToPrometheusText(), expected);
+}
+
+TEST(Registry, EmptyRegistryExportsEmptySections) {
+  Registry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.ToPrometheusText(), "");
+  reg.GetCounter("c");
+  EXPECT_FALSE(reg.empty());
+}
+
+}  // namespace
+}  // namespace emjoin::metrics

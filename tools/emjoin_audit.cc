@@ -1,0 +1,115 @@
+// emjoin_audit: the Table 1 optimality auditor.
+//
+// Runs every CostModel (src/metrics/cost_model.h) — one per Table 1
+// query class, plus the GenS eq. (4) bound and the Yannakakis gap
+// baseline — over its geometric n-series and M-series on fresh
+// simulated devices, fits the measured log-log exponent against the
+// claimed closed form, and writes AUDIT_table1.json with a per-row
+// PASS/FAIL verdict. CI runs this on every push and gates on the
+// committed baseline via bench_diff (see bench/baselines/).
+//
+// Usage:
+//   emjoin_audit [--out=PATH] [--model=NAME] [--list]
+//                [--slope-tol=F] [--max-ratio=F]
+//
+// Exit codes: 0 all audited rows PASS, 1 any FAIL, 2 usage error,
+// 74 the output file cannot be written.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/cost_model.h"
+
+namespace {
+
+using emjoin::metrics::AuditOptions;
+using emjoin::metrics::AuditRow;
+using emjoin::metrics::CostModel;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: emjoin_audit [--out=PATH] [--model=NAME] [--list]\n"
+               "                    [--slope-tol=F] [--max-ratio=F]\n");
+  return 2;
+}
+
+void PrintRow(const AuditRow& row) {
+  std::printf("%-18s %-4s  n-slope %6.3f vs %6.3f   M-slope %6.3f vs "
+              "%6.3f   ratio [%.2f, %.2f]\n",
+              row.name.c_str(), row.pass ? "PASS" : "FAIL",
+              row.n_fit.measured, row.n_fit.expected, row.m_fit.measured,
+              row.m_fit.expected, row.ratio_min, row.ratio_max);
+  for (const std::string& f : row.failures) {
+    std::printf("    ! %s\n", f.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "AUDIT_table1.json";
+  std::string only_model;
+  bool list_only = false;
+  AuditOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = std::string(arg.substr(6));
+    } else if (arg.rfind("--model=", 0) == 0) {
+      only_model = std::string(arg.substr(8));
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg.rfind("--slope-tol=", 0) == 0) {
+      options.slope_tol = std::atof(arg.substr(12).data());
+    } else if (arg.rfind("--max-ratio=", 0) == 0) {
+      options.max_ratio = std::atof(arg.substr(12).data());
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", std::string(arg).c_str());
+      return Usage();
+    }
+  }
+
+  std::vector<CostModel> models = emjoin::metrics::Table1Models();
+  if (list_only) {
+    for (const CostModel& m : models) {
+      std::printf("%-18s %s\n    %s\n", m.name.c_str(), m.row.c_str(),
+                  m.claim.c_str());
+    }
+    return 0;
+  }
+  if (!only_model.empty()) {
+    std::vector<CostModel> filtered;
+    for (CostModel& m : models) {
+      if (m.name == only_model) filtered.push_back(std::move(m));
+    }
+    if (filtered.empty()) {
+      std::fprintf(stderr, "no model named '%s' (see --list)\n",
+                   only_model.c_str());
+      return 2;
+    }
+    models = std::move(filtered);
+  }
+
+  std::printf("auditing %zu cost models...\n", models.size());
+  std::vector<AuditRow> rows;
+  rows.reserve(models.size());
+  for (const CostModel& m : models) {
+    rows.push_back(emjoin::metrics::RunAudit(m, options));
+    PrintRow(rows.back());
+  }
+
+  if (!emjoin::metrics::WriteAuditJson(rows, options, out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 74;
+  }
+
+  bool all_pass = true;
+  for (const AuditRow& r : rows) all_pass = all_pass && r.pass;
+  std::printf("%s -> %s\n", all_pass ? "ALL PASS" : "FAILURES",
+              out_path.c_str());
+  return all_pass ? 0 : 1;
+}

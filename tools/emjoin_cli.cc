@@ -2,6 +2,7 @@
 //
 //   emjoin_cli join [--memory M] [--block B] [--print] [--algo auto|yann]
 //              [--stats] [--trace[=PATH]] [--trace-format=tree|jsonl|chrome]
+//              [--metrics=PATH] [--metrics-format=json|prom] [--audit=PATH]
 //              [--fault-seed=N] [--fault-read=P] [--fault-write=P]
 //              [--fault-torn=P] [--fault-capacity=BLOCKS]
 //              [--fault-shrink-at=IOS[,IOS...]] [--fault-shrink-every-poll]
@@ -12,7 +13,11 @@
 //       reports result count and I/O statistics. --stats adds the per-tag
 //       I/O breakdown and the peak-memory gauge; --trace records a span
 //       tree of the run (tree report to stdout or PATH; jsonl / chrome
-//       formats require a PATH, the latter loads in Perfetto). The
+//       formats require a PATH, the latter loads in Perfetto).
+//       --metrics exports the process metrics registry (counters,
+//       gauges, log-bucketed histograms) as JSON or Prometheus text;
+//       --audit writes a one-row measured-vs-Theorem-3 audit of the
+//       join in the bench_diff-gateable shape. The
 //       --fault-* flags attach a seeded fault injector to the device
 //       (see docs/ROBUSTNESS.md); a run that cannot recover exits with
 //       the code for its typed error.
@@ -47,6 +52,8 @@
 #include "extmem/status.h"
 #include "gens/gens.h"
 #include "gens/psi.h"
+#include "metrics/collect.h"
+#include "metrics/obs.h"
 #include "query/classify.h"
 #include "storage/csv.h"
 #include "trace/sinks.h"
@@ -187,6 +194,11 @@ int ParseFlags(int argc, char** argv, int start, CommonFlags* out) {
       out->faults = true;
       out->fault_config.retry.max_retries = static_cast<std::uint32_t>(
           std::strtoul(eq_value("--fault-retries=").c_str(), nullptr, 10));
+    } else if (const int obs = metrics::ParseObsFlag(arg); obs != 0) {
+      // --metrics=PATH / --metrics-format=... / --audit=PATH, shared
+      // with the benches (bench/bench_util.h). Diagnostics for obs < 0
+      // were already printed.
+      if (obs < 0) return kExitUsage;
     } else if (arg.rfind("--", 0) == 0) {
       return FailUsage("unknown flag " + arg);
     } else {
@@ -237,6 +249,7 @@ int CmdJoin(const CommonFlags& flags) {
   extmem::Device dev(flags.memory, flags.block);
   trace::Tracer tracer;
   if (flags.trace) dev.set_tracer(&tracer);
+  metrics::AttachMetrics(&dev);
   extmem::FaultInjector injector(flags.fault_config);
   if (flags.faults) dev.set_fault_injector(&injector);
 
@@ -280,6 +293,7 @@ int CmdJoin(const CommonFlags& flags) {
     }
   };
 
+  const extmem::IoStats join_before = dev.stats();
   if (flags.algo == "yann") {
     const auto report = core::TryYannakakisJoin(rels, emit);
     if (!report.ok()) return Fail(report.status());
@@ -300,6 +314,54 @@ int CmdJoin(const CommonFlags& flags) {
     std::printf("peak mem:  %llu tuples (M = %llu)\n",
                 (unsigned long long)dev.gauge().high_water(),
                 (unsigned long long)dev.M());
+  }
+  const std::uint64_t join_ios = (dev.stats() - join_before).total();
+  if (metrics::GlobalObsConfig().metrics_enabled) {
+    metrics::Registry* reg = &metrics::GlobalMetricsRegistry();
+    metrics::CollectDeviceDelta(dev, extmem::IoStats{}, {}, reg);
+    metrics::CollectFaultStats(dev, reg);
+    if (!metrics::WriteMetricsFile()) {
+      return Fail(extmem::Status(extmem::StatusCode::kInternal,
+                                 "failed to write metrics"));
+    }
+  }
+  const std::string& audit_path = metrics::GlobalObsConfig().audit_path;
+  if (!audit_path.empty()) {
+    // One-row audit of this join against the instance-exact Theorem 3
+    // bound, in the same shape the benches and emjoin_audit write so
+    // bench_diff can gate it. The bound is computed after the measured
+    // window, so its counting-oracle work never pollutes join_ios.
+    query::JoinQuery q;
+    for (const auto& r : rels) q.AddRelation(r.schema(), r.size());
+    const long double bound =
+        gens::PredictBoundExact(q, rels, dev.M(), dev.B()).bound;
+    const double ratio =
+        bound > 0 ? static_cast<double>(join_ios) /
+                        static_cast<double>(bound)
+                  : 0.0;
+    // One-sided, like emjoin_audit: the claim is an upper bound, and
+    // the additive slack absorbs partial-block rounding on instances
+    // small enough that ceil(n/B) terms dominate the closed form.
+    const bool pass = static_cast<double>(join_ios) <=
+                      64.0 * static_cast<double>(bound) + 64.0;
+    std::FILE* f = std::fopen(audit_path.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(extmem::Status(extmem::StatusCode::kInternal,
+                                 "failed to write " + audit_path));
+    }
+    std::fprintf(f,
+                 "{\n  \"schema\": \"emjoin-bench-audit-v1\",\n"
+                 "  \"all_pass\": %s,\n  \"rows\": [\n"
+                 "    {\"name\": \"cli_join|M=%llu|B=%llu\", "
+                 "\"measured\": %llu, \"expected\": %.3Lf, "
+                 "\"ratio\": %.4f, \"verdict\": \"%s\"}\n  ]\n}\n",
+                 pass ? "true" : "false", (unsigned long long)dev.M(),
+                 (unsigned long long)dev.B(),
+                 (unsigned long long)join_ios, bound, ratio,
+                 pass ? "PASS" : "FAIL");
+    std::fclose(f);
+    std::printf("audit:     %s (measured/bound = %.2f) -> %s\n",
+                pass ? "PASS" : "FAIL", ratio, audit_path.c_str());
   }
   if (flags.trace) return WriteTrace(tracer, flags);
   return 0;
