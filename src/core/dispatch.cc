@@ -292,7 +292,7 @@ extmem::Result<AutoJoinReport> TryJoinAuto(
 AutoJoinReport JoinAuto(const std::vector<storage::Relation>& rels,
                         const EmitFn& emit) {
   extmem::Result<AutoJoinReport> result = TryJoinAuto(rels, emit);
-  if (!result.ok()) throw extmem::StatusException(result.status());
+  if (!result.ok()) extmem::ThrowStatus(result.status());
   return *std::move(result);
 }
 

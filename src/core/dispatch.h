@@ -47,7 +47,7 @@ AutoJoinReport JoinAuto(const std::vector<storage::Relation>& rels,
 /// kDataLoss) for runs under fault injection or budget enforcement.
 /// Rows already emitted before a failure must be discarded by the
 /// caller; only an ok() result means the emitted set is complete.
-extmem::Result<AutoJoinReport> TryJoinAuto(
+[[nodiscard]] extmem::Result<AutoJoinReport> TryJoinAuto(
     const std::vector<storage::Relation>& rels, const EmitFn& emit);
 
 }  // namespace emjoin::core

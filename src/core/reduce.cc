@@ -94,7 +94,7 @@ std::vector<Relation> FullyReduce(const std::vector<Relation>& rels) {
     // Typed error instead of the former assert: semijoin sweeps along a
     // join tree are only defined for Berge-acyclic queries. Surfaces as
     // kInvalidInput at the Try* boundaries.
-    throw extmem::StatusException(
+    extmem::ThrowStatus(
         extmem::Status(extmem::StatusCode::kInvalidInput,
                        "FullyReduce requires a Berge-acyclic query, got " +
                            q.ToString()));

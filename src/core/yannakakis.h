@@ -26,7 +26,7 @@ YannakakisReport YannakakisJoin(const std::vector<storage::Relation>& rels,
 
 /// YannakakisJoin with a typed result (see TryJoinAuto for the error
 /// taxonomy and the partial-emission caveat).
-extmem::Result<YannakakisReport> TryYannakakisJoin(
+[[nodiscard]] extmem::Result<YannakakisReport> TryYannakakisJoin(
     const std::vector<storage::Relation>& rels, const EmitFn& emit,
     bool reduce_first = true);
 

@@ -43,8 +43,8 @@ class Device {
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
-  TupleCount M() const { return memory_tuples_; }
-  TupleCount B() const { return block_tuples_; }
+  [[nodiscard]] TupleCount M() const { return memory_tuples_; }
+  [[nodiscard]] TupleCount B() const { return block_tuples_; }
 
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
@@ -53,7 +53,7 @@ class Device {
   const MemoryGauge& gauge() const { return gauge_; }
 
   /// Creates an empty file whose tuples have `width` values each.
-  std::shared_ptr<DiskFile> NewFile(std::uint32_t width);
+  [[nodiscard]] std::shared_ptr<DiskFile> NewFile(std::uint32_t width);
 
   /// Charges I/Os for a bulk transfer of `tuples` tuples (ceil division).
   void ChargeReadTuples(TupleCount tuples);
@@ -77,7 +77,7 @@ class Device {
   }
 
   /// Blocks needed to hold `tuples` tuples.
-  std::uint64_t BlocksFor(TupleCount tuples) const {
+  [[nodiscard]] std::uint64_t BlocksFor(TupleCount tuples) const {
     return (tuples + block_tuples_ - 1) / block_tuples_;
   }
 
@@ -85,7 +85,9 @@ class Device {
   /// `tag` must outlive the scope it is active in (string literals in
   /// practice); entries are keyed by content, so equal literals from
   /// different translation units share one row.
-  const char* set_tag(const char* tag) {
+  /// [[nodiscard]]: dropping the previous tag makes the scope
+  /// unrestorable — use ScopedIoTag instead of calling this directly.
+  [[nodiscard]] const char* set_tag(const char* tag) {
     const char* prev = tag_;
     tag_ = tag;
     tag_entry_ = FindTagEntry(tag);
@@ -94,12 +96,13 @@ class Device {
 
   /// Per-operation I/O breakdown ("scan", "sort", "semijoin", ...).
   /// Heterogeneous lookup (string_view / const char*) is supported.
-  const std::map<std::string, IoStats, std::less<>>& per_tag() const {
+  [[nodiscard]] const std::map<std::string, IoStats, std::less<>>& per_tag()
+      const {
     return per_tag_;
   }
 
   /// Human-readable per-tag breakdown.
-  std::string TagReport() const;
+  [[nodiscard]] std::string TagReport() const;
 
   /// Optional tracer hook. When a tracer is attached, trace::Span RAII
   /// scopes opened against this device snapshot stats()/gauge() and the
@@ -142,7 +145,7 @@ class Device {
   /// injector-scheduled budget shrinks take effect (shrinks are applied
   /// at planning polls, never mid-charge, so a well-behaved operator can
   /// always finish the allocation it planned). Fault-free this is M.
-  TupleCount PlanningBudget();
+  [[nodiscard]] TupleCount PlanningBudget();
 
  private:
   TupleCount memory_tuples_;
@@ -185,7 +188,9 @@ class ScopedIoTag {
  public:
   ScopedIoTag(Device* device, const char* tag)
       : device_(device), prev_(device->set_tag(tag)) {}
-  ~ScopedIoTag() { device_->set_tag(prev_); }
+  // Restoring the saved tag is the one place the returned previous tag
+  // is legitimately unneeded.
+  ~ScopedIoTag() { static_cast<void>(device_->set_tag(prev_)); }
   ScopedIoTag(const ScopedIoTag&) = delete;
   ScopedIoTag& operator=(const ScopedIoTag&) = delete;
 

@@ -167,6 +167,8 @@ class FaultInjector {
   }
 
   FaultConfig config_;
+  // lint: allow(determinism) — seeded from FaultConfig::seed in the ctor;
+  // default construction here is overwritten before any draw.
   std::mt19937_64 rng_;
   std::uniform_real_distribution<double> dist_{0.0, 1.0};
   FaultStats stats_;

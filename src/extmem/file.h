@@ -31,16 +31,16 @@ class DiskFile {
   DiskFile(const DiskFile&) = delete;
   DiskFile& operator=(const DiskFile&) = delete;
 
-  Device* device() const { return device_; }
+  [[nodiscard]] Device* device() const { return device_; }
 
   /// Values per tuple.
-  std::uint32_t width() const { return width_; }
+  [[nodiscard]] std::uint32_t width() const { return width_; }
 
   /// Number of tuples in the file.
-  TupleCount size() const { return data_.size() / width_; }
+  [[nodiscard]] TupleCount size() const { return data_.size() / width_; }
 
   /// Uncharged access to tuple `i` (readers charge I/O themselves).
-  const Value* RawTuple(TupleCount i) const {
+  [[nodiscard]] const Value* RawTuple(TupleCount i) const {
     assert(i < size());
     return data_.data() + i * width_;
   }
@@ -93,23 +93,27 @@ struct FileRange {
     end = file->size();
   }
 
-  TupleCount size() const { return end - begin; }
-  bool empty() const { return begin >= end; }
-  std::uint32_t width() const { return file->width(); }
+  [[nodiscard]] TupleCount size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin >= end; }
+  [[nodiscard]] std::uint32_t width() const { return file->width(); }
 
-  FileRange Sub(TupleCount b, TupleCount e) const {
+  [[nodiscard]] FileRange Sub(TupleCount b, TupleCount e) const {
     assert(begin + e <= end && b <= e);
     return FileRange(file, begin + b, begin + e);
   }
 
   /// Uncharged access relative to the range start.
-  const Value* RawTuple(TupleCount i) const {
+  [[nodiscard]] const Value* RawTuple(TupleCount i) const {
     return file->RawTuple(begin + i);
   }
 };
 
 /// Sequential, block-buffered reader over a FileRange. Charges one block
 /// read each time the cursor enters a block it has not yet read.
+///
+/// lint: tagged-by-caller — the operator that opens the reader owns the
+/// I/O attribution tag; charges here land on whatever ScopedIoTag is
+/// active at the call site.
 class FileReader {
  public:
   explicit FileReader(FileRange range)
@@ -117,7 +121,7 @@ class FileReader {
         pos_(range_.begin),
         last_block_(~std::uint64_t{0}) {}
 
-  bool Done() const { return pos_ >= range_.end; }
+  [[nodiscard]] bool Done() const { return pos_ >= range_.end; }
 
   /// Returns the next tuple and advances. Charges I/O on block boundaries.
   const Value* Next() {
@@ -157,13 +161,13 @@ class FileReader {
   }
 
   /// Tuples remaining.
-  TupleCount Remaining() const { return range_.end - pos_; }
+  [[nodiscard]] TupleCount Remaining() const { return range_.end - pos_; }
 
   /// Absolute position in the underlying file.
-  TupleCount position() const { return pos_; }
+  [[nodiscard]] TupleCount position() const { return pos_; }
 
   /// Values per tuple of the underlying file.
-  std::uint32_t width() const { return range_.file->width(); }
+  [[nodiscard]] std::uint32_t width() const { return range_.file->width(); }
 
  private:
   void ChargeIfNewBlock() {
@@ -182,6 +186,9 @@ class FileReader {
 /// Sequential, block-buffered writer appending to a DiskFile. Charges one
 /// block write per B tuples appended (plus one for a trailing partial
 /// block at Finish()).
+///
+/// lint: tagged-by-caller — like FileReader, the operator that opens the
+/// writer owns the I/O attribution tag.
 class FileWriter {
  public:
   explicit FileWriter(FilePtr file) : file_(std::move(file)) {}
@@ -233,7 +240,7 @@ class FileWriter {
     }
   }
 
-  const FilePtr& file() const { return file_; }
+  [[nodiscard]] const FilePtr& file() const { return file_; }
 
  private:
   FilePtr file_;
@@ -250,7 +257,7 @@ class BlockCursor {
   explicit BlockCursor(FileRange range)
       : reader_(std::move(range)), width_(reader_.width()) {}
 
-  bool Done() const { return cur_ == end_ && reader_.Done(); }
+  [[nodiscard]] bool Done() const { return cur_ == end_ && reader_.Done(); }
 
   /// Current tuple. Fetches (and charges) the next block on first use.
   const Value* Head() {

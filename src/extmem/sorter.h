@@ -13,8 +13,9 @@ namespace emjoin::extmem {
 /// Compares two equal-width tuples by the given key columns, breaking ties
 /// with the full tuple (so sorts are total orders and deterministic).
 /// Returns <0, 0, >0.
-int CompareTuples(const Value* a, const Value* b, std::uint32_t width,
-                  std::span<const std::uint32_t> key_cols);
+[[nodiscard]] int CompareTuples(const Value* a, const Value* b,
+                                std::uint32_t width,
+                                std::span<const std::uint32_t> key_cols);
 
 /// Checkpoint of an in-progress external sort: the sorted runs that are
 /// already safely on the device, and how many merge passes completed.
@@ -61,21 +62,21 @@ struct SortOptions {
 ///
 /// Raises StatusException on unrecoverable device faults; fault-free it
 /// never throws. TryExternalSort is the typed-Status boundary.
-FilePtr ExternalSort(const FileRange& input,
-                     std::span<const std::uint32_t> key_cols);
+[[nodiscard]] FilePtr ExternalSort(const FileRange& input,
+                                   std::span<const std::uint32_t> key_cols);
 
 /// ExternalSort with a typed result and optional resume support. On an
 /// unrecoverable fault the returned Status carries the fault, and
 /// `manifest` (when non-null) holds the completed runs; calling again
 /// with the same manifest resumes rather than restarting.
-Result<FilePtr> TryExternalSort(const FileRange& input,
-                                std::span<const std::uint32_t> key_cols,
-                                SortManifest* manifest = nullptr,
-                                const SortOptions& options = {});
+[[nodiscard]] Result<FilePtr> TryExternalSort(
+    const FileRange& input, std::span<const std::uint32_t> key_cols,
+    SortManifest* manifest = nullptr, const SortOptions& options = {});
 
 /// Number of merge passes the sorter would use for `n` input tuples on
 /// `device` (run formation not counted). Exposed for I/O accounting tests.
-std::uint64_t MergePassesFor(const Device& device, TupleCount n);
+[[nodiscard]] std::uint64_t MergePassesFor(const Device& device,
+                                           TupleCount n);
 
 }  // namespace emjoin::extmem
 

@@ -36,8 +36,10 @@ enum class StatusCode {
 std::string_view StatusCodeName(StatusCode code);
 
 /// A typed error (or success) value. Cheap to copy on the ok path: an
-/// ok Status carries no message allocation.
-class Status {
+/// ok Status carries no message allocation. [[nodiscard]] at class level:
+/// any call returning a Status that is dropped on the floor is a
+/// swallowed error (also enforced by emjoin_lint's status-discard rule).
+class [[nodiscard]] Status {
  public:
   Status() = default;  // ok
   Status(StatusCode code, std::string message)
@@ -47,12 +49,12 @@ class Status {
 
   static Status Ok() { return Status(); }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "IO_ERROR: read of block 17 failed after 4 retries".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   StatusCode code_ = StatusCode::kOk;
@@ -77,14 +79,15 @@ class StatusException : public std::runtime_error {
 };
 
 /// A value or a typed error, for API boundaries (StatusOr-style).
+/// [[nodiscard]] at class level for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}          // NOLINT(implicit)
   Result(Status status) : status_(std::move(status)) {}  // NOLINT(implicit)
 
-  bool ok() const { return value_.has_value(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     assert(ok());
@@ -109,11 +112,20 @@ class Result {
   Status status_;  // ok() iff value_ holds
 };
 
+/// Raises `status` as a StatusException. The only sanctioned way to
+/// enter the exception-unwound interior from outside src/extmem: the
+/// status-boundary lint rule bans literal `throw StatusException`
+/// elsewhere, so every raise site stays behind this helper and the
+/// unwinding mechanism can change without touching operator code.
+[[noreturn]] inline void ThrowStatus(Status status) {
+  throw StatusException(std::move(status));
+}
+
 /// Runs `fn()` (returning T) and converts a StatusException into an error
 /// Result; the bridge between the exception-unwound interior and the
 /// typed API surface.
 template <typename Fn>
-auto CatchStatus(Fn&& fn) -> Result<decltype(fn())> {
+[[nodiscard]] auto CatchStatus(Fn&& fn) -> Result<decltype(fn())> {
   try {
     return std::forward<Fn>(fn)();
   } catch (const StatusException& e) {

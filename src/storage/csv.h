@@ -25,16 +25,15 @@ inline constexpr std::size_t kMaxCsvLineBytes = 1 << 20;
 /// after the whole input parses, so a parse error never leaves partial
 /// tuples on the device. Loading charges the materialization write, like
 /// FromTuples.
-extmem::Result<Relation> RelationFromCsv(extmem::Device* dev, Schema schema,
-                                         std::istream& in,
-                                         std::string_view source = "<csv>");
+[[nodiscard]] extmem::Result<Relation> RelationFromCsv(
+    extmem::Device* dev, Schema schema, std::istream& in,
+    std::string_view source = "<csv>");
 
 /// Convenience: parse from a file path. Every error message includes
 /// `path`; a missing/unreadable file is kNotFound, an empty (zero data
 /// line) file and parse errors are kInvalidInput.
-extmem::Result<Relation> RelationFromCsvFile(extmem::Device* dev,
-                                             Schema schema,
-                                             const std::string& path);
+[[nodiscard]] extmem::Result<Relation> RelationFromCsvFile(
+    extmem::Device* dev, Schema schema, const std::string& path);
 
 /// Writes `rel` as CSV (one tuple per line), charging a sequential scan.
 void RelationToCsv(const Relation& rel, std::ostream& out);
@@ -43,8 +42,8 @@ void RelationToCsv(const Relation& rel, std::ostream& out);
 /// interned in `names` (first occurrence assigns the next id), so several
 /// relations can share attributes by name. Returns kInvalidInput on an
 /// empty or duplicate attribute within one schema.
-extmem::Result<Schema> ParseSchemaSpec(const std::string& spec,
-                                       std::vector<std::string>* names);
+[[nodiscard]] extmem::Result<Schema> ParseSchemaSpec(
+    const std::string& spec, std::vector<std::string>* names);
 
 }  // namespace emjoin::storage
 

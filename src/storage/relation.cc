@@ -28,6 +28,8 @@ Relation Relation::SortedBy(AttrId a) const {
   return Relation(schema_, extmem::FileRange(sorted), a);
 }
 
+// lint: tagged-by-caller — binary-search probes are attributed to
+// whatever operator (semijoin, petal scan, ...) drives the lookup.
 Relation Relation::EqualRange(AttrId a, Value val) const {
   assert(IsSortedBy(a));
   const auto pos = schema_.PositionOf(a);

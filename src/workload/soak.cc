@@ -73,7 +73,7 @@ BodyResult RunSort(extmem::Device* dev, const SoakPlan& plan) {
                                        &manifest);
     }
   }
-  if (!sorted.ok()) throw extmem::StatusException(sorted.status());
+  if (!sorted.ok()) extmem::ThrowStatus(sorted.status());
 
   // Content hash via uncharged raw access (a correctness oracle, exempt
   // from the cost model like the sorter's own tests).

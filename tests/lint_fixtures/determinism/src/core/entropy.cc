@@ -1,0 +1,26 @@
+// Fixture for the determinism rule. Not compiled. Six findings, one per
+// banned construct: lines 10, 11, 12, 13, 16, 19.
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+namespace emjoin::core {
+
+std::uint64_t Entropy() {
+  const int a = std::rand();
+  const auto b = std::time(nullptr);
+  std::random_device rd;
+  const auto c = std::chrono::system_clock::now();
+
+  // Default-constructed engine: seed is implementation-defined.
+  std::mt19937_64 rng;
+
+  // Iteration order follows allocation addresses (ASLR), not the input.
+  std::unordered_map<const void*, int> by_ptr;
+
+  std::mt19937_64 seeded(42);  // ok: explicit seed
+  std::unordered_map<int, int> by_value;  // ok: value-keyed
+  return a + b + rd() + c.time_since_epoch().count() + rng() + seeded();
+}
+
+}  // namespace emjoin::core

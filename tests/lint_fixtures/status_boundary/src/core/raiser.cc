@@ -1,0 +1,15 @@
+// Fixture for the status-boundary rule (throw side). Not compiled.
+// Exactly one finding: the literal throw on line 12.
+#include "extmem/status.h"
+
+namespace emjoin::core {
+
+void GoodRaise(const extmem::Status& s) {
+  extmem::ThrowStatus(s);  // ok: the sanctioned raise helper
+}
+
+void BadRaise(const extmem::Status& s) {
+  throw extmem::StatusException(s);
+}
+
+}  // namespace emjoin::core

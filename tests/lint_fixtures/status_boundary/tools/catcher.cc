@@ -1,0 +1,20 @@
+// Fixture for the status-boundary rule (catch side). Not compiled.
+// Exactly one finding: the catch on line 10.
+#include "extmem/status.h"
+
+namespace {
+
+int BadCatch() {
+  try {
+    return Work();
+  } catch (const emjoin::extmem::StatusException& e) {
+    return -1;
+  }
+}
+
+int GoodCatch() {
+  const auto r = emjoin::extmem::CatchStatus([] { return Work(); });
+  return r.ok() ? *r : -1;
+}
+
+}  // namespace

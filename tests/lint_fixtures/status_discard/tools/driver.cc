@@ -1,0 +1,22 @@
+// Fixture for the status-discard rule. Not compiled. Exactly two
+// findings: the bare calls on lines 10 and 16.
+#include "extmem/sorter.h"
+
+namespace {
+
+void Drive() {
+  // The classic swallowed error: sort fails, nobody notices, the join
+  // runs over an unsorted file.
+  emjoin::extmem::TryExternalSort(input, keys);
+
+  auto sorted = emjoin::extmem::TryExternalSort(input, keys);  // ok
+  if (!sorted.ok()) return;
+
+  // Multi-line statement context: previous significant char is `;`.
+  TryJoinAuto(rels, emit);
+
+  const auto checked = TryJoinAuto(rels, emit);  // ok
+  if (checked.ok()) Use(*checked);
+}
+
+}  // namespace

@@ -1,0 +1,17 @@
+// Fixture for the substrate-hygiene rule. Not compiled. Three findings:
+// the include on line 4, the ifstream on line 9, the fopen on line 12.
+#include <cstdio>
+#include <fstream>
+
+namespace emjoin::core {
+
+std::uint64_t CountLines(const char* path) {
+  std::ifstream in(path);  // bytes read here are never charged
+
+  // Same problem through the C API.
+  std::FILE* f = std::fopen(path, "r");
+  (void)f;
+  return 0;
+}
+
+}  // namespace emjoin::core

@@ -1,0 +1,41 @@
+// Fixture proving every suppression form works: each construct below
+// violates a rule, and every one is silenced. Expected findings: none.
+#include <fstream>  // lint: allow(substrate-hygiene)
+#include <random>
+
+#include "extmem/device.h"
+#include "extmem/status.h"
+
+namespace emjoin::core {
+
+// lint: tagged-by-caller — annotation form used by reader-style helpers.
+void ProbeForCaller(extmem::Device* dev) {
+  dev->ChargeReadBlocks(1);
+}
+
+void Quiet(extmem::Device* dev) {
+  // Same-line suppression.
+  const int a = std::rand();  // lint: allow(determinism)
+
+  // Suppression on the line directly above.
+  // lint: allow(determinism)
+  std::random_device rd;
+
+  // A wrapped rationale comment: the allow sits two lines above the
+  // flagged line but still heads its contiguous comment block.
+  // lint: allow(determinism) — this fixture documents that a suppression
+  // at the top of a multi-line comment covers the statement below it.
+  std::mt19937_64 rng;
+
+  // lint: allow(all) — the catch-all form.
+  std::ifstream in("x");
+
+  // lint: allow(status-boundary)
+  throw extmem::StatusException(extmem::Status());
+
+  // lint: allow(tag-discipline) — site-level alternative to the
+  // function-level tagged-by-caller note.
+  dev->ChargeWriteBlocks(1);
+}
+
+}  // namespace emjoin::core

@@ -1,0 +1,24 @@
+// Fixture for the tag-discipline rule. Not compiled — scanned by
+// emjoin_lint in lint_test.cc. Exactly one finding: the charge in
+// UntaggedProbe (line 21).
+#include "extmem/device.h"
+
+namespace emjoin::core {
+
+void TaggedScan(extmem::Device* dev) {
+  extmem::ScopedIoTag tag(dev, "scan");
+  dev->ChargeReadBlocks(1);  // ok: under a ScopedIoTag
+}
+
+// lint: tagged-by-caller — fixture stand-in for a reader-style helper.
+void InheritsTag(extmem::Device* dev) {
+  dev->ChargeReadBlocks(2);  // ok: documented tagged-by-caller
+}
+
+void UntaggedProbe(extmem::Device* dev) {
+  // Neither a ScopedIoTag in scope nor a tagged-by-caller note: this
+  // charge would land on whatever tag happens to be active.
+  dev->ChargeWriteBlocks(3);
+}
+
+}  // namespace emjoin::core

@@ -1,0 +1,180 @@
+// Self-tests for tools/emjoin_lint: every rule fires exactly where the
+// fixture says it should, suppression comments silence it, and the JSON
+// report round-trips. The fixtures under tests/lint_fixtures/ are tiny
+// mini-trees (src/core/..., tools/...) because several rules are scoped
+// by path; they are scanned, never compiled.
+//
+// EMJOIN_LINT_BIN and EMJOIN_LINT_FIXTURES are injected by CMake.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string out;
+  std::vector<std::string> lines;
+};
+
+LintRun RunLint(const std::string& args) {
+  const std::string cmd = std::string(EMJOIN_LINT_BIN) + " " + args;
+  LintRun r;
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) r.out += buf;
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::istringstream in(r.out);
+  for (std::string line; std::getline(in, line);) r.lines.push_back(line);
+  return r;
+}
+
+std::string Fixture(const std::string& name) {
+  return std::string("--root=") + EMJOIN_LINT_FIXTURES + "/" + name +
+         " 2>/dev/null";
+}
+
+TEST(LintTest, TagDisciplineFiresOnlyOnUntaggedCharge) {
+  const LintRun r = RunLint(Fixture("tag_discipline"));
+  EXPECT_EQ(r.exit_code, 1);
+  ASSERT_EQ(r.lines.size(), 1u) << r.out;
+  EXPECT_TRUE(r.lines[0].rfind("src/core/untagged.cc:21: tag-discipline:",
+                               0) == 0)
+      << r.lines[0];
+}
+
+TEST(LintTest, StatusBoundaryFlagsThrowAndCatchOutsideExtmem) {
+  const LintRun r = RunLint(Fixture("status_boundary"));
+  EXPECT_EQ(r.exit_code, 1);
+  ASSERT_EQ(r.lines.size(), 2u) << r.out;
+  EXPECT_TRUE(
+      r.lines[0].rfind("src/core/raiser.cc:12: status-boundary:", 0) == 0)
+      << r.lines[0];
+  EXPECT_NE(r.lines[0].find("throw"), std::string::npos);
+  EXPECT_TRUE(
+      r.lines[1].rfind("tools/catcher.cc:10: status-boundary:", 0) == 0)
+      << r.lines[1];
+  EXPECT_NE(r.lines[1].find("catch"), std::string::npos);
+}
+
+TEST(LintTest, StatusDiscardFlagsBareCallsOnly) {
+  const LintRun r = RunLint(Fixture("status_discard"));
+  EXPECT_EQ(r.exit_code, 1);
+  ASSERT_EQ(r.lines.size(), 2u) << r.out;
+  EXPECT_TRUE(
+      r.lines[0].rfind("tools/driver.cc:10: status-discard:", 0) == 0)
+      << r.lines[0];
+  EXPECT_NE(r.lines[0].find("TryExternalSort"), std::string::npos);
+  EXPECT_TRUE(
+      r.lines[1].rfind("tools/driver.cc:16: status-discard:", 0) == 0)
+      << r.lines[1];
+  EXPECT_NE(r.lines[1].find("TryJoinAuto"), std::string::npos);
+}
+
+TEST(LintTest, DeterminismFlagsEachBannedConstructOnce) {
+  const LintRun r = RunLint(Fixture("determinism"));
+  EXPECT_EQ(r.exit_code, 1);
+  ASSERT_EQ(r.lines.size(), 6u) << r.out;
+  const int expected_lines[] = {10, 11, 12, 13, 16, 19};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::string prefix = "src/core/entropy.cc:" +
+                               std::to_string(expected_lines[i]) +
+                               ": determinism:";
+    EXPECT_TRUE(r.lines[i].rfind(prefix, 0) == 0)
+        << "want " << prefix << " got " << r.lines[i];
+  }
+  EXPECT_NE(r.lines[4].find("without a seed"), std::string::npos);
+  EXPECT_NE(r.lines[5].find("pointer"), std::string::npos);
+}
+
+TEST(LintTest, SubstrateHygieneFlagsRawIoInCore) {
+  const LintRun r = RunLint(Fixture("substrate_hygiene"));
+  EXPECT_EQ(r.exit_code, 1);
+  ASSERT_EQ(r.lines.size(), 3u) << r.out;
+  EXPECT_TRUE(
+      r.lines[0].rfind("src/core/rawio.cc:4: substrate-hygiene:", 0) == 0)
+      << r.lines[0];
+  EXPECT_TRUE(
+      r.lines[1].rfind("src/core/rawio.cc:9: substrate-hygiene:", 0) == 0)
+      << r.lines[1];
+  EXPECT_TRUE(
+      r.lines[2].rfind("src/core/rawio.cc:12: substrate-hygiene:", 0) == 0)
+      << r.lines[2];
+}
+
+TEST(LintTest, SuppressionCommentsSilenceEveryRule) {
+  const LintRun r = RunLint(Fixture("suppressed"));
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_TRUE(r.lines.empty()) << r.out;
+}
+
+TEST(LintTest, RuleFilterRestrictsChecking) {
+  // The determinism fixture is clean under every *other* rule.
+  const LintRun r =
+      RunLint("--rule=substrate-hygiene " + Fixture("determinism"));
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+}
+
+TEST(LintTest, JsonReportMatchesTextFindings) {
+  const std::string json_path =
+      testing::TempDir() + "/lint_findings_test.json";
+  const LintRun r =
+      RunLint("--json=" + json_path + " " + Fixture("tag_discipline"));
+  EXPECT_EQ(r.exit_code, 1);
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"tool\": \"emjoin_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"src/core/untagged.cc\", \"line\": 21, "
+                      "\"rule\": \"tag-discipline\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"clean\": false"), std::string::npos);
+}
+
+TEST(LintTest, JsonReportOnCleanTreeSaysClean) {
+  const std::string json_path = testing::TempDir() + "/lint_clean_test.json";
+  const LintRun r =
+      RunLint("--json=" + json_path + " " + Fixture("suppressed"));
+  EXPECT_EQ(r.exit_code, 0);
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"clean\": true"), std::string::npos);
+}
+
+TEST(LintTest, ListRulesNamesTheFullCatalogue) {
+  const LintRun r = RunLint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule :
+       {"tag-discipline", "status-boundary", "status-discard", "determinism",
+        "substrate-hygiene"}) {
+    EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(LintTest, UsageAndIoErrorsUseBenchDiffExitCodes) {
+  EXPECT_EQ(RunLint("--no-such-flag 2>/dev/null").exit_code, 2);
+  EXPECT_EQ(RunLint("--rule=no-such-rule 2>/dev/null").exit_code, 2);
+  EXPECT_EQ(RunLint("--root=/nonexistent/dir 2>/dev/null").exit_code, 66);
+}
+
+// The gate the CI lint job and the emjoin_lint_tree CTest check rely on:
+// the real tree is clean. EMJOIN_LINT_SOURCE_ROOT points at the repo.
+TEST(LintTest, RealTreeIsClean) {
+  const LintRun r =
+      RunLint(std::string("--root=") + EMJOIN_LINT_SOURCE_ROOT);
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+}
+
+}  // namespace

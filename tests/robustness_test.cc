@@ -86,6 +86,8 @@ TEST(StatusTest, CatchStatusConvertsExceptionsToResults) {
   EXPECT_EQ(*ok, 7);
 
   const Result<int> err = CatchStatus([]() -> int {
+    // lint: allow(status-boundary) — this test simulates the substrate
+    // raising; production code outside src/extmem uses ThrowStatus.
     throw StatusException(Status(StatusCode::kDeviceFull, "full"));
   });
   ASSERT_FALSE(err.ok());
@@ -292,6 +294,7 @@ TEST(MemoryGaugeTest, EnforcedLimitRaisesTypedError) {
   try {
     gauge.Acquire(1);
     FAIL() << "expected kBudgetExceeded";
+    // lint: allow(status-boundary) — asserts the exception type itself.
   } catch (const StatusException& e) {
     EXPECT_EQ(e.status().code(), StatusCode::kBudgetExceeded);
   }

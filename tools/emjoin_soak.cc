@@ -22,6 +22,9 @@ int main(int argc, char** argv) {
   using namespace emjoin::workload;
 
   std::uint64_t runs = 200;
+  // lint: allow(determinism) — the time-derived default seed is this
+  // driver's documented fresh-coverage mode; the chosen seed is always
+  // printed so any run can be replayed bit-identically with --seed.
   std::uint64_t base_seed = static_cast<std::uint64_t>(std::time(nullptr));
   bool verbose = false;
   bool seed_given = false;
