@@ -18,6 +18,7 @@
 #include "gens/psi.h"
 #include "metrics/collect.h"
 #include "metrics/obs.h"
+#include "parallel/parallel_join.h"
 #include "trace/sinks.h"
 #include "trace/tracer.h"
 
@@ -357,6 +358,42 @@ inline Reporter& GlobalReporter() {
   return reporter;
 }
 
+/// Sharded-execution knobs, filled in by ParseBenchFlags from
+/// --shards=K / --workers=W. Every bench strips (and thus accepts) the
+/// flags; only benches that route joins through RunJoinAutoSharded —
+/// bench_parallel today — act on them, the rest measure the serial
+/// operators regardless.
+struct ShardConfig {
+  std::uint32_t shards = 1;
+  std::uint32_t workers = 1;
+};
+
+inline ShardConfig& GlobalShardConfig() {
+  static ShardConfig config;
+  return config;
+}
+
+/// Runs the auto-dispatched join under GlobalShardConfig (serial when
+/// shards == 1), merging shard metrics into the global registry when
+/// --metrics is active. Benches are fault-free, so a non-ok status is a
+/// harness bug: it aborts loudly rather than skewing the numbers.
+inline parallel::ParallelJoinReport RunJoinAutoSharded(
+    const std::vector<storage::Relation>& rels, const core::EmitFn& emit) {
+  parallel::ParallelOptions options;
+  options.shards = GlobalShardConfig().shards;
+  options.workers = GlobalShardConfig().workers;
+  metrics::Registry* merged = metrics::GlobalObsConfig().metrics_enabled
+                                  ? &metrics::GlobalMetricsRegistry()
+                                  : nullptr;
+  auto result = parallel::TryParallelJoinAuto(rels, emit, options, merged);
+  if (!result.ok()) {
+    std::fprintf(stderr, "sharded join failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(result);
+}
+
 /// Per-bench run configuration, filled in by ParseBenchFlags.
 struct BenchConfig {
   std::string name;       // e.g. "table1_line3"
@@ -372,7 +409,8 @@ inline BenchConfig& GlobalBenchConfig() {
 
 /// One-stop flag parsing for bench mains: strips trace flags
 /// (--trace[=PATH], --trace-format=...), observability flags
-/// (--metrics=PATH, --metrics-format=..., --audit=PATH) and the bench
+/// (--metrics=PATH, --metrics-format=..., --audit=PATH), the sharding
+/// flags --shards=K / --workers=W (into GlobalShardConfig) and the bench
 /// output flags --json[=PATH], --no-json, --reps=K from argv, leaving
 /// any bench-specific flags in place. Returns false (diagnostic
 /// printed) on a malformed value; callers should exit nonzero.
@@ -402,6 +440,14 @@ inline bool ParseBenchFlags(int* argc, char** argv, const std::string& name,
     } else if (arg.rfind("--reps=", 0) == 0) {
       config.reps = std::atoi(arg.substr(7).data());
       if (config.reps < 1) config.reps = 1;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      GlobalShardConfig().shards = static_cast<std::uint32_t>(
+          std::strtoul(arg.substr(9).data(), nullptr, 10));
+      if (GlobalShardConfig().shards == 0) GlobalShardConfig().shards = 1;
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      GlobalShardConfig().workers = static_cast<std::uint32_t>(
+          std::strtoul(arg.substr(10).data(), nullptr, 10));
+      if (GlobalShardConfig().workers == 0) GlobalShardConfig().workers = 1;
     } else {
       argv[out++] = argv[i];
     }

@@ -31,6 +31,12 @@ namespace emjoin::extmem {
 ///
 /// Reservations are RAII: construct a `MemoryReservation` to account
 /// resident tuples, and release happens on destruction.
+///
+/// Like the rest of the substrate the gauge is lock-free and
+/// thread-confined: each shard of a parallel run owns its Device and
+/// therefore its own gauge, and per-shard peaks are folded into the
+/// merged report at the barrier (see src/extmem/status.h for the full
+/// threading contract).
 class MemoryGauge {
  public:
   static constexpr TupleCount kNoLimit = ~TupleCount{0};

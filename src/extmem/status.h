@@ -14,6 +14,17 @@ namespace emjoin::extmem {
 /// run can end in maps to exactly one code; the CLI maps codes to exit
 /// statuses and the soak harness asserts that faulted runs terminate
 /// with one of these (never a crash or silent corruption).
+///
+/// Threading contract (see docs/PARALLELISM.md): the whole substrate —
+/// Device, MemoryGauge, files, Tracer, Registry, FaultInjector — is
+/// lock-free and thread-confined. Sharded execution (src/parallel/)
+/// gives every shard a private instance of each, run on one worker
+/// thread, and merges them at a barrier on the orchestrating thread;
+/// nothing here is safe to share across concurrently running shards.
+/// Error propagation respects the same confinement: StatusException
+/// never crosses a thread boundary — each shard task ends in a typed
+/// Status via the Try* APIs, and the orchestrator surfaces the first
+/// failing shard's Status (in shard order) as the whole query's result.
 enum class StatusCode {
   kOk = 0,
   /// A device transfer failed and the retry policy was exhausted.

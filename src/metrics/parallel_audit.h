@@ -1,0 +1,42 @@
+#ifndef EMJOIN_METRICS_PARALLEL_AUDIT_H_
+#define EMJOIN_METRICS_PARALLEL_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "metrics/cost_model.h"
+
+namespace emjoin::metrics {
+
+/// The parallel-speedup audit: the load-balance claim of sharded
+/// execution, checked the same way Table 1's formulas are.
+///
+/// For each audited workload (uniform line3, uniform star, Zipf-skewed
+/// line3) and each K in {2, 4, 8}, a seeded random instance is joined
+/// via TryParallelJoinAuto and one CostPoint is recorded with
+///   n        = K,
+///   measured = max-per-shard I/O (the critical path),
+///   expected = sum-per-shard I/O / K (perfect balance).
+/// The row PASSes iff every point's measured/expected ratio stays under
+/// a per-workload band (wider under skew, per "Skew Strikes Back") and
+/// the critical path at every K beats the serial join's I/O — i.e.
+/// sharding balances AND actually shortens the I/O critical path.
+/// Everything is seeded and simulated, so the points are bit-stable and
+/// bench_diff gates them exactly against the committed baseline.
+///
+/// Names all start with "parallel_" so emjoin_audit's --model filter
+/// can address them; rows serialize through the standard AuditRow JSON
+/// (m_points stays empty — there is no M-series here).
+std::vector<std::string> ParallelAuditNames();
+
+bool IsParallelAuditName(const std::string& name);
+
+/// Runs the parallel audits; `only_name` (when non-empty) restricts to
+/// that row. `options.slope_tol` is recorded for reference; the verdict
+/// uses the per-workload band as max_ratio.
+std::vector<AuditRow> RunParallelAudits(const AuditOptions& options = {},
+                                        const std::string& only_name = "");
+
+}  // namespace emjoin::metrics
+
+#endif  // EMJOIN_METRICS_PARALLEL_AUDIT_H_

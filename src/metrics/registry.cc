@@ -60,6 +60,59 @@ Histogram* Registry::GetHistogram(const std::string& family,
   return &histograms_[family][LabelKey(labels)];
 }
 
+Labels Registry::ParseLabelKey(const std::string& key) {
+  Labels labels;
+  if (key.size() < 2 || key.front() != '{') return labels;
+  std::size_t i = 1;
+  while (i < key.size() && key[i] != '}') {
+    const std::size_t eq = key.find('=', i);
+    if (eq == std::string::npos) break;
+    std::string name = key.substr(i, eq - i);
+    i = eq + 2;  // skip ="
+    std::string value;
+    while (i < key.size() && key[i] != '"') {
+      if (key[i] == '\\' && i + 1 < key.size()) {
+        ++i;
+        value += key[i] == 'n' ? '\n' : key[i];
+      } else {
+        value += key[i];
+      }
+      ++i;
+    }
+    ++i;  // closing quote
+    labels.emplace_back(std::move(name), std::move(value));
+    if (i < key.size() && key[i] == ',') ++i;
+  }
+  return labels;
+}
+
+void Registry::MergeFrom(const Registry& other, const Labels& extra_labels) {
+  if (extra_labels.empty()) {
+    MergeFrom(other);
+    return;
+  }
+  const auto rekey = [&extra_labels](const std::string& key) {
+    Labels labels = ParseLabelKey(key);
+    labels.insert(labels.end(), extra_labels.begin(), extra_labels.end());
+    return LabelKey(labels);
+  };
+  for (const auto& [family, series] : other.counters_) {
+    for (const auto& [key, counter] : series) {
+      counters_[family][rekey(key)].Add(counter.value());
+    }
+  }
+  for (const auto& [family, series] : other.gauges_) {
+    for (const auto& [key, gauge] : series) {
+      gauges_[family][rekey(key)].SetMax(gauge.value());
+    }
+  }
+  for (const auto& [family, series] : other.histograms_) {
+    for (const auto& [key, hist] : series) {
+      histograms_[family][rekey(key)].MergeFrom(hist);
+    }
+  }
+}
+
 void Registry::MergeFrom(const Registry& other) {
   for (const auto& [family, series] : other.counters_) {
     for (const auto& [key, counter] : series) {

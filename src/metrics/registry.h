@@ -94,9 +94,14 @@ class Histogram {
 /// holds a `Registry*` that is nullptr by default, and attaching one
 /// never charges or suppresses an I/O (pinned by io_invariance tests).
 /// Lookups return stable pointers (node-based storage), so hot loops
-/// can resolve a series once and bump it repeatedly. Single-threaded,
-/// like the rest of the simulator; per-shard registries are combined
-/// with MergeFrom.
+/// can resolve a series once and bump it repeatedly.
+///
+/// Threading contract (see docs/PARALLELISM.md): a Registry instance is
+/// confined to one thread and takes no locks. Sharded execution gives
+/// each shard its own Registry (attached to its own Device) and the
+/// orchestrator folds them into the query-level registry at the merge
+/// barrier via the labeled MergeFrom overload, tagging every absorbed
+/// series with shard=<i>.
 class Registry {
  public:
   Counter* GetCounter(const std::string& family, const Labels& labels = {});
@@ -106,6 +111,11 @@ class Registry {
 
   /// Folds `other` in: counters and histograms add, gauges keep the max.
   void MergeFrom(const Registry& other);
+
+  /// MergeFrom, with `extra_labels` appended to every absorbed series'
+  /// label set (e.g. {{"shard", "3"}}). Series that differ only in the
+  /// extra labels stay distinct in this registry.
+  void MergeFrom(const Registry& other, const Labels& extra_labels);
 
   bool empty() const {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
@@ -127,6 +137,11 @@ class Registry {
   static std::string LabelKey(const Labels& labels);
 
  private:
+  /// Inverse of LabelKey: reconstructs the label pairs from a canonical
+  /// series key (undoing the escaping), so merged series can be re-keyed
+  /// with extra labels appended.
+  static Labels ParseLabelKey(const std::string& key);
+
   template <typename T>
   using FamilyMap = std::map<std::string, std::map<std::string, T>>;
 

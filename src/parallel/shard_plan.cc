@@ -1,0 +1,92 @@
+#include "parallel/shard_plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace emjoin::parallel {
+
+ShardPlan PlanShards(const std::vector<storage::Relation>& rels,
+                     std::uint32_t shards) {
+  assert(!rels.empty());
+  if (shards == 0) shards = 1;
+
+  // Total bytes (well, tuples) each attribute would hash-partition.
+  std::map<storage::AttrId, TupleCount> coverage;
+  for (const storage::Relation& r : rels) {
+    for (const storage::AttrId a : r.schema().attrs()) {
+      coverage[a] += r.size();
+    }
+  }
+  // std::map iterates in ascending AttrId, so `>` breaks ties low.
+  storage::AttrId best = coverage.begin()->first;
+  TupleCount best_cover = 0;
+  for (const auto& [attr, cover] : coverage) {
+    if (cover > best_cover) {
+      best = attr;
+      best_cover = cover;
+    }
+  }
+
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.partition_attr = best;
+  plan.partitioned.reserve(rels.size());
+  for (const storage::Relation& r : rels) {
+    plan.partitioned.push_back(r.schema().Contains(best));
+  }
+  const extmem::Device* dev = rels.front().device();
+  plan.shard_memory = std::max<TupleCount>(dev->M() / shards, dev->B());
+  return plan;
+}
+
+std::uint32_t ShardOfValue(Value v, std::uint32_t shards) {
+  std::uint64_t x = v + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x % shards);
+}
+
+std::vector<std::vector<storage::Relation>> PartitionRelations(
+    const std::vector<storage::Relation>& rels, const ShardPlan& plan,
+    const std::vector<extmem::Device*>& shard_devices) {
+  assert(shard_devices.size() == plan.shards);
+  assert(rels.size() == plan.partitioned.size());
+
+  std::vector<std::vector<storage::Relation>> out(plan.shards);
+  for (auto& shard_rels : out) shard_rels.reserve(rels.size());
+
+  for (std::size_t ri = 0; ri < rels.size(); ++ri) {
+    const storage::Relation& rel = rels[ri];
+    std::vector<storage::Tuple> tuples;
+    {
+      const extmem::ScopedIoTag tag(rel.device(), "partition");
+      tuples = rel.ReadAll();
+    }
+
+    std::vector<std::vector<storage::Tuple>> buckets(plan.shards);
+    if (plan.partitioned[ri]) {
+      const auto col = rel.schema().PositionOf(plan.partition_attr);
+      assert(col.has_value());
+      for (storage::Tuple& t : tuples) {
+        buckets[ShardOfValue(t[*col], plan.shards)].push_back(std::move(t));
+      }
+    } else {
+      // Broadcast: every shard sees the whole relation.
+      for (std::uint32_t s = 0; s < plan.shards; ++s) buckets[s] = tuples;
+    }
+
+    for (std::uint32_t s = 0; s < plan.shards; ++s) {
+      const extmem::ScopedIoTag tag(shard_devices[s], "partition");
+      storage::Relation frag = storage::Relation::FromTuples(
+          shard_devices[s], rel.schema(), buckets[s]);
+      // Filtering rows preserves their relative order, so the fragment
+      // keeps the source's sort metadata.
+      out[s].emplace_back(rel.schema(), frag.range(), rel.sorted_by());
+    }
+  }
+  return out;
+}
+
+}  // namespace emjoin::parallel

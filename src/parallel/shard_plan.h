@@ -1,0 +1,62 @@
+#ifndef EMJOIN_PARALLEL_SHARD_PLAN_H_
+#define EMJOIN_PARALLEL_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "extmem/device.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+
+namespace emjoin::parallel {
+
+/// How a query's input relations are split across K shards.
+///
+/// The plan follows the fragment-and-replicate scheme from the MPC
+/// literature (Hu & Yi's parallel follow-up, PAPERS.md): one partition
+/// attribute is chosen, every relation containing it is hash-partitioned
+/// on its value, and every relation *not* containing it is broadcast to
+/// all shards. Each shard then joins only tuples agreeing on the
+/// partition attribute's hash bucket, so the union of the shard-local
+/// joins is exactly the full join and every result row is produced by
+/// exactly one shard (no dedup pass needed).
+struct ShardPlan {
+  std::uint32_t shards = 1;
+  storage::AttrId partition_attr = 0;
+  /// Per input relation: true = hash-partitioned on partition_attr,
+  /// false = broadcast (replicated) to every shard.
+  std::vector<bool> partitioned;
+  /// Memory budget per shard device: max(M / shards, B) tuples.
+  TupleCount shard_memory = 0;
+};
+
+/// Chooses the partition attribute that hash-partitions the most input
+/// data: the attribute maximizing the total size of the relations that
+/// contain it (everything else is broadcast). Ties break to the lowest
+/// AttrId so the plan is deterministic. `rels` must be non-empty and
+/// live on one device (whose M fixes shard_memory).
+ShardPlan PlanShards(const std::vector<storage::Relation>& rels,
+                     std::uint32_t shards);
+
+/// Shard owning join-attribute value `v`: splitmix64 finalizer mod K.
+/// A strong mixer matters here — workload generators hand out small
+/// consecutive values, and `v % K` would send them to shards in lockstep
+/// with the generator's patterns instead of uniformly.
+std::uint32_t ShardOfValue(Value v, std::uint32_t shards);
+
+/// Materializes the plan: reads each input relation once off its source
+/// device (charged there under the "partition" tag) and writes each
+/// shard's fragment onto that shard's device (charged there under
+/// "partition" too). Fragments inherit the source relation's sorted-by
+/// metadata — hash partitioning filters rows without reordering them, so
+/// a sorted input yields sorted fragments.
+///
+/// Returns per-shard relation lists: result[s][r] is shard s's fragment
+/// of rels[r].
+std::vector<std::vector<storage::Relation>> PartitionRelations(
+    const std::vector<storage::Relation>& rels, const ShardPlan& plan,
+    const std::vector<extmem::Device*>& shard_devices);
+
+}  // namespace emjoin::parallel
+
+#endif  // EMJOIN_PARALLEL_SHARD_PLAN_H_

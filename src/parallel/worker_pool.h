@@ -1,0 +1,61 @@
+#ifndef EMJOIN_PARALLEL_WORKER_POOL_H_
+#define EMJOIN_PARALLEL_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace emjoin::parallel {
+
+/// Fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// This is the single place in the codebase where threads are spawned
+/// (enforced by emjoin_lint's thread-discipline rule): everything the
+/// workers touch must be shard-local by construction — its own Device,
+/// files, Tracer, Registry, and FaultInjector — so the pool needs no
+/// locking beyond its own queue and the merged results stay
+/// deterministic regardless of interleaving.
+///
+/// Tasks must not let exceptions escape: shard tasks end in a typed
+/// Status via the Try* APIs, never an unwind across the thread boundary.
+class WorkerPool {
+ public:
+  /// Spawns `workers` threads (at least one).
+  explicit WorkerPool(std::uint32_t workers);
+
+  /// Joins all workers; pending tasks are drained first.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues one task. Tasks run in FIFO submission order (each worker
+  /// pops the oldest pending task), concurrently across workers.
+  void Submit(std::function<void()> task);
+
+  /// Barrier: blocks until every submitted task has finished running.
+  void Wait();
+
+  [[nodiscard]] std::uint32_t workers() const {
+    return static_cast<std::uint32_t>(threads_.size());
+  }
+
+ private:
+  void RunWorker();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for tasks / shutdown
+  std::condition_variable idle_cv_;  // Wait() waits for the pool to drain
+  std::size_t running_ = 0;          // tasks currently executing
+  bool stop_ = false;
+};
+
+}  // namespace emjoin::parallel
+
+#endif  // EMJOIN_PARALLEL_WORKER_POOL_H_

@@ -72,6 +72,59 @@ void Tracer::CloseSpan(SpanId id) {
   if (end_clock > clock_) clock_ = end_clock;
 }
 
+void Tracer::Absorb(const Tracer& other, const char* root_name) {
+  const SpanId base = static_cast<SpanId>(spans_.size());
+
+  SpanRecord root;
+  root.name = root_name;
+  root.parent = kNoSpan;
+  root.depth = 0;
+  root.open_clock = clock_;
+  root.closed = true;
+  for (const SpanRecord& s : other.spans_) {
+    if (s.parent != kNoSpan) continue;
+    root.inclusive += s.inclusive;
+    root.child_sum += s.inclusive;
+    if (s.peak_resident > root.peak_resident) {
+      root.peak_resident = s.peak_resident;
+    }
+    if (s.has_faults) {
+      root.faults = root.faults + s.faults;
+      root.has_faults = true;
+    }
+    for (const auto& [tag, io] : s.by_tag) {
+      const auto it = root.by_tag.find(tag);
+      if (it != root.by_tag.end()) {
+        it->second += io;
+      } else {
+        root.by_tag.emplace(tag, io);
+      }
+    }
+  }
+  const std::uint64_t subtree_ios = root.inclusive.total();
+  spans_.push_back(std::move(root));
+
+  // Copies keep their relative order, so the shifted ids stay in open
+  // order and children still have larger ids than their parents.
+  for (const SpanRecord& s : other.spans_) {
+    SpanRecord copy = s;
+    copy.parent = s.parent == kNoSpan ? base : base + 1 + s.parent;
+    copy.depth = s.depth + 1;
+    copy.open_clock = clock_ + s.open_clock;
+    spans_.push_back(std::move(copy));
+  }
+
+  for (const auto& [name, delta] : other.totals_) {
+    const auto it = totals_.find(name);
+    if (it != totals_.end()) {
+      it->second += delta;
+    } else {
+      totals_.emplace(name, delta);
+    }
+  }
+  clock_ += subtree_ios;
+}
+
 void Tracer::AddCount(std::string_view name, std::uint64_t delta) {
   if (!stack_.empty()) {
     auto& counters = spans_[stack_.back().id].counters;

@@ -108,6 +108,17 @@ class Tracer {
 
   bool InSpan() const { return !stack_.empty(); }
 
+  /// Imports every span of `other` under a fresh synthetic root named
+  /// `root_name` (a literal or interned string): the root's inclusive
+  /// I/O, tag breakdown, peak residency, and fault tallies aggregate
+  /// `other`'s root spans, and `other`'s spans are re-parented one level
+  /// down with their ids shifted past this tracer's. Successive absorbs
+  /// advance the virtual clock by each subtree's inclusive I/O, so
+  /// shards absorbed at a merge barrier occupy disjoint (sequential)
+  /// timeline intervals — the Chrome export shows per-shard work
+  /// side by side on the I/O axis, not overlapped. Counter totals add.
+  void Absorb(const Tracer& other, const char* root_name);
+
   /// All spans in open order (SpanId == index).
   const std::vector<SpanRecord>& spans() const { return spans_; }
 

@@ -9,6 +9,7 @@
 #include "extmem/device.h"
 #include "extmem/file.h"
 #include "extmem/sorter.h"
+#include "parallel/parallel_join.h"
 #include "workload/constructions.h"
 
 namespace emjoin::workload {
@@ -41,6 +42,7 @@ struct BodyResult {
   std::uint64_t rows = 0;
   std::uint64_t hash = kFnvOffset;
   bool resumed = false;
+  extmem::FaultStats shard_faults;  // per-shard injector tallies (sharded)
 };
 
 BodyResult RunSort(extmem::Device* dev, const SoakPlan& plan) {
@@ -88,7 +90,7 @@ BodyResult RunSort(extmem::Device* dev, const SoakPlan& plan) {
   return out;
 }
 
-BodyResult RunJoin(extmem::Device* dev, const SoakPlan& plan) {
+BodyResult RunJoin(extmem::Device* dev, const SoakPlan& plan, bool inject) {
   std::vector<storage::Relation> rels;
   switch (plan.workload) {
     case 1:
@@ -111,8 +113,19 @@ BodyResult RunJoin(extmem::Device* dev, const SoakPlan& plan) {
     HashRowEnd(&out.hash);
   };
   // The throwing entry points: device faults surface as StatusException,
-  // which RunPlan's CatchStatus turns back into a typed outcome.
-  if (plan.use_yannakakis) {
+  // which RunPlan's CatchStatus turns back into a typed outcome. The
+  // sharded path is already typed (one shard's failure is the query's
+  // Status), so it re-throws to land in the same catch.
+  if (plan.shards > 1 && !plan.use_yannakakis) {
+    parallel::ParallelOptions options;
+    options.shards = plan.shards;
+    options.workers = plan.workers;
+    options.faults = inject;
+    options.fault_config = plan.faults;
+    const auto report = parallel::TryParallelJoinAuto(rels, emit, options);
+    if (!report.ok()) extmem::ThrowStatus(report.status());
+    out.shard_faults = report->faults;
+  } else if (plan.use_yannakakis) {
     core::YannakakisJoin(rels, emit);
   } else {
     core::JoinAuto(rels, emit);
@@ -192,6 +205,16 @@ SoakPlan PlanFromSeed(std::uint64_t seed) {
       break;
   }
   if (!f.Active()) f.read_fail = 0.01;  // every soak run injects something
+
+  // A third of the auto-dispatched joins run sharded, so the soak space
+  // covers partitioning, per-shard injector seeds (f.seed + shard id),
+  // and the shard-failure-to-Status path. Drawn last: plans for a given
+  // seed keep every choice above identical to the unsharded planner, so
+  // replay lines from before sharding existed still reproduce.
+  if (plan.workload != 0 && !plan.use_yannakakis && rng() % 3 == 0) {
+    plan.shards = Pick<std::uint32_t>(rng, {2, 3, 4});
+    plan.workers = Pick<std::uint32_t>(rng, {1, 2});
+  }
   return plan;
 }
 
@@ -201,7 +224,8 @@ SoakOutcome RunPlan(const SoakPlan& plan, bool inject) {
   if (inject) dev.set_fault_injector(&injector);
 
   const auto body = extmem::CatchStatus([&] {
-    return plan.workload == 0 ? RunSort(&dev, plan) : RunJoin(&dev, plan);
+    return plan.workload == 0 ? RunSort(&dev, plan)
+                              : RunJoin(&dev, plan, inject);
   });
 
   SoakOutcome out;
@@ -213,7 +237,10 @@ SoakOutcome RunPlan(const SoakPlan& plan, bool inject) {
   } else {
     out.status = body.status();
   }
+  // Source-device injector tallies, plus (for completed sharded runs)
+  // the per-shard injectors' tallies rolled up by the merge layer.
   out.fault_stats = injector.stats();
+  if (body.ok()) out.fault_stats = out.fault_stats + body->shard_faults;
   for (const auto& [tag, stats] : dev.per_tag()) {
     if (tag == "recovery") out.recovery += stats;
   }
@@ -228,6 +255,9 @@ std::string ReplayLine(const SoakPlan& plan, const SoakOutcome& outcome) {
      << " algo=" << (plan.workload == 0
                          ? "sort"
                          : (plan.use_yannakakis ? "yannakakis" : "auto"));
+  if (plan.shards > 1) {
+    os << " shards=" << plan.shards << " workers=" << plan.workers;
+  }
   if (outcome.completed) {
     os << " -> ok rows=" << outcome.rows << " hash=" << std::hex
        << outcome.hash << std::dec;

@@ -34,6 +34,11 @@ struct SoakPlan {
   TupleCount memory = 256;
   TupleCount block = 16;
   bool use_yannakakis = false;            // joins only
+  /// shards >= 2 routes the join through TryParallelJoinAuto (auto
+  /// dispatch only): per-shard injectors seeded faults.seed + shard id,
+  /// so the sharded fault schedule is as replayable as the serial one.
+  std::uint32_t shards = 1;
+  std::uint32_t workers = 1;
   std::vector<TupleCount> params;         // workload-specific sizes
   extmem::FaultConfig faults;
 };
@@ -50,7 +55,10 @@ struct SoakOutcome {
   std::uint64_t hash = 0;   // order-sensitive FNV-1a over the output
   bool resumed_sort = false;  // the sort workload resumed from a manifest
 
-  extmem::FaultStats fault_stats;  // injector tallies (zero for baselines)
+  /// Injector tallies (zero for baselines). For sharded runs that
+  /// complete, the per-shard injectors' tallies are folded in on top of
+  /// the source device's.
+  extmem::FaultStats fault_stats;
   extmem::IoStats recovery;        // the "recovery" tag's charges
   extmem::IoStats total;           // device totals for the run
 };

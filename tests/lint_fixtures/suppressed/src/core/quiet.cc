@@ -2,6 +2,7 @@
 // violates a rule, and every one is silenced. Expected findings: none.
 #include <fstream>  // lint: allow(substrate-hygiene)
 #include <random>
+#include <thread>
 
 #include "extmem/device.h"
 #include "extmem/status.h"
@@ -36,6 +37,11 @@ void Quiet(extmem::Device* dev) {
   // lint: allow(tag-discipline) — site-level alternative to the
   // function-level tagged-by-caller note.
   dev->ChargeWriteBlocks(1);
+
+  // lint: allow(thread-discipline) — fixture-only raw spawn; real code
+  // outside src/parallel goes through parallel::WorkerPool.
+  std::thread t([] {});
+  t.join();
 }
 
 }  // namespace emjoin::core

@@ -1,0 +1,29 @@
+// Fixture for the thread-discipline rule. Not compiled. Four findings,
+// one per raw spawn primitive: lines 9, 12, 15, 17.
+#include <future>
+#include <thread>
+
+namespace emjoin::core {
+
+void Spawn() {
+  std::thread t([] {});
+
+  // jthread auto-joins, but it is still a raw spawn outside the pool.
+  std::jthread j([] {});
+
+  // std::async hides its thread behind a future; same problem.
+  auto f = std::async([] { return 1; });
+
+  pthread_create(nullptr, nullptr, nullptr, nullptr);
+
+  t.join();
+  static_cast<void>(f.get());
+}
+
+// Members and includes that merely *name* threads are fine: the rule
+// matches the qualified spawn spellings, not the word "thread".
+struct Pool {
+  int threads_ = 0;
+};
+
+}  // namespace emjoin::core

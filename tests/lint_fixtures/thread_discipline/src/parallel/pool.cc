@@ -1,0 +1,13 @@
+// Under src/parallel/ the rule is silent: this is the one directory
+// allowed to spawn threads (it is where WorkerPool lives). Expected
+// findings in this file: none.
+#include <thread>
+
+namespace emjoin::parallel {
+
+void SpawnHere() {
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace emjoin::parallel

@@ -109,6 +109,27 @@ TEST(LintTest, SubstrateHygieneFlagsRawIoInCore) {
       << r.lines[2];
 }
 
+TEST(LintTest, ThreadDisciplineFlagsRawSpawnsOutsideParallel) {
+  const LintRun r = RunLint(Fixture("thread_discipline"));
+  EXPECT_EQ(r.exit_code, 1);
+  // Four findings in src/core/spawner.cc; the identical spawn in
+  // src/parallel/pool.cc is exempt and must not appear.
+  ASSERT_EQ(r.lines.size(), 4u) << r.out;
+  const int expected_lines[] = {9, 12, 15, 17};
+  const char* expected_tokens[] = {"std::thread", "std::jthread",
+                                   "std::async", "pthread_create"};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::string prefix = "src/core/spawner.cc:" +
+                               std::to_string(expected_lines[i]) +
+                               ": thread-discipline:";
+    EXPECT_TRUE(r.lines[i].rfind(prefix, 0) == 0)
+        << "want " << prefix << " got " << r.lines[i];
+    EXPECT_NE(r.lines[i].find(expected_tokens[i]), std::string::npos)
+        << r.lines[i];
+  }
+  EXPECT_EQ(r.out.find("src/parallel/"), std::string::npos) << r.out;
+}
+
 TEST(LintTest, SuppressionCommentsSilenceEveryRule) {
   const LintRun r = RunLint(Fixture("suppressed"));
   EXPECT_EQ(r.exit_code, 0) << r.out;
@@ -158,7 +179,7 @@ TEST(LintTest, ListRulesNamesTheFullCatalogue) {
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule :
        {"tag-discipline", "status-boundary", "status-discard", "determinism",
-        "substrate-hygiene"}) {
+        "substrate-hygiene", "thread-discipline"}) {
     EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
   }
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "metrics/cost_model.h"
+#include "metrics/parallel_audit.h"
 
 namespace {
 
@@ -79,27 +80,50 @@ int main(int argc, char** argv) {
       std::printf("%-18s %s\n    %s\n", m.name.c_str(), m.row.c_str(),
                   m.claim.c_str());
     }
+    for (const std::string& name : emjoin::metrics::ParallelAuditNames()) {
+      std::printf("%-18s parallel speedup (sharded execution)\n",
+                  name.c_str());
+    }
     return 0;
   }
+  // The parallel-speedup rows are not CostModels (no closed-form n/M
+  // series); they are filtered by the same --model flag and appended
+  // after the Table 1 rows.
+  bool run_table1 = true;
+  std::string only_parallel;
   if (!only_model.empty()) {
-    std::vector<CostModel> filtered;
-    for (CostModel& m : models) {
-      if (m.name == only_model) filtered.push_back(std::move(m));
+    if (emjoin::metrics::IsParallelAuditName(only_model)) {
+      run_table1 = false;
+      only_parallel = only_model;
+    } else {
+      std::vector<CostModel> filtered;
+      for (CostModel& m : models) {
+        if (m.name == only_model) filtered.push_back(std::move(m));
+      }
+      if (filtered.empty()) {
+        std::fprintf(stderr, "no model named '%s' (see --list)\n",
+                     only_model.c_str());
+        return 2;
+      }
+      models = std::move(filtered);
     }
-    if (filtered.empty()) {
-      std::fprintf(stderr, "no model named '%s' (see --list)\n",
-                   only_model.c_str());
-      return 2;
-    }
-    models = std::move(filtered);
   }
 
-  std::printf("auditing %zu cost models...\n", models.size());
   std::vector<AuditRow> rows;
-  rows.reserve(models.size());
-  for (const CostModel& m : models) {
-    rows.push_back(emjoin::metrics::RunAudit(m, options));
-    PrintRow(rows.back());
+  if (run_table1) {
+    std::printf("auditing %zu cost models...\n", models.size());
+    rows.reserve(models.size());
+    for (const CostModel& m : models) {
+      rows.push_back(emjoin::metrics::RunAudit(m, options));
+      PrintRow(rows.back());
+    }
+  }
+  if (only_model.empty() || !only_parallel.empty()) {
+    for (AuditRow& row :
+         emjoin::metrics::RunParallelAudits(options, only_parallel)) {
+      PrintRow(row);
+      rows.push_back(std::move(row));
+    }
   }
 
   if (!emjoin::metrics::WriteAuditJson(rows, options, out_path)) {

@@ -1,6 +1,7 @@
 // emjoin command-line tool.
 //
 //   emjoin_cli join [--memory M] [--block B] [--print] [--algo auto|yann]
+//              [--shards=K] [--workers=W]
 //              [--stats] [--trace[=PATH]] [--trace-format=tree|jsonl|chrome]
 //              [--metrics=PATH] [--metrics-format=json|prom] [--audit=PATH]
 //              [--fault-seed=N] [--fault-read=P] [--fault-write=P]
@@ -54,6 +55,7 @@
 #include "gens/psi.h"
 #include "metrics/collect.h"
 #include "metrics/obs.h"
+#include "parallel/parallel_join.h"
 #include "query/classify.h"
 #include "storage/csv.h"
 #include "trace/sinks.h"
@@ -102,6 +104,8 @@ struct CommonFlags {
   std::string trace_path;              // empty: tree report to stdout
   std::string trace_format = "tree";   // tree | jsonl | chrome
   std::string algo = "auto";
+  std::uint32_t shards = 1;
+  std::uint32_t workers = 1;
   bool faults = false;
   extmem::FaultConfig fault_config;
   std::vector<std::string> positional;
@@ -148,6 +152,14 @@ int ParseFlags(int argc, char** argv, int start, CommonFlags* out) {
     } else if (arg == "--algo") {
       if (i + 1 >= argc) return FailUsage("missing value after --algo");
       out->algo = argv[++i];
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      out->shards = static_cast<std::uint32_t>(
+          std::strtoul(eq_value("--shards=").c_str(), nullptr, 10));
+      if (out->shards == 0) return FailUsage("--shards must be >= 1");
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      out->workers = static_cast<std::uint32_t>(
+          std::strtoul(eq_value("--workers=").c_str(), nullptr, 10));
+      if (out->workers == 0) return FailUsage("--workers must be >= 1");
     } else if (arg.rfind("--fault-seed=", 0) == 0) {
       out->faults = true;
       out->fault_config.seed =
@@ -295,9 +307,43 @@ int CmdJoin(const CommonFlags& flags) {
 
   const extmem::IoStats join_before = dev.stats();
   if (flags.algo == "yann") {
+    if (flags.shards > 1) {
+      return FailUsage("--shards requires --algo auto");
+    }
     const auto report = core::TryYannakakisJoin(rels, emit);
     if (!report.ok()) return Fail(report.status());
     std::printf("algorithm: Yannakakis (baseline)\n");
+  } else if (flags.shards > 1) {
+    parallel::ParallelOptions poptions;
+    poptions.shards = flags.shards;
+    poptions.workers = flags.workers;
+    poptions.faults = flags.faults;
+    poptions.fault_config = flags.fault_config;
+    metrics::Registry* merged = metrics::GlobalObsConfig().metrics_enabled
+                                    ? &metrics::GlobalMetricsRegistry()
+                                    : nullptr;
+    const auto report =
+        parallel::TryParallelJoinAuto(rels, emit, poptions, merged);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("algorithm: %s (%s)\n", report->auto_report.algorithm.c_str(),
+                report->auto_report.reason.c_str());
+    std::printf("shards:    %u x %s, %u workers; critical path %llu I/Os, "
+                "total %llu\n",
+                report->shards, names[report->partition_attr].c_str(),
+                report->workers,
+                (unsigned long long)report->max_shard_ios,
+                (unsigned long long)report->sum_shard_ios);
+    if (flags.stats) {
+      for (std::size_t s = 0; s < report->per_shard.size(); ++s) {
+        const parallel::ShardReport& sr = report->per_shard[s];
+        std::printf("shard %zu:   %s, results=%llu, peak mem %llu tuples "
+                    "(%s)\n",
+                    s, sr.io.ToString().c_str(),
+                    (unsigned long long)sr.results,
+                    (unsigned long long)sr.peak_resident,
+                    sr.report.algorithm.c_str());
+      }
+    }
   } else {
     const auto report = core::TryJoinAuto(rels, emit);
     if (!report.ok()) return Fail(report.status());
@@ -442,7 +488,8 @@ int CmdDemo() {
 int Usage() {
   return FailUsage(
       "emjoin_cli join [--memory M] [--block B] [--print] "
-      "[--algo auto|yann] [--fault-seed=N ...] attrs=file.csv ... | "
+      "[--algo auto|yann] [--shards=K] [--workers=W] "
+      "[--fault-seed=N ...] attrs=file.csv ... | "
       "emjoin_cli plan [--memory M] [--block B] attrs:SIZE ... | "
       "emjoin_cli demo");
 }

@@ -30,6 +30,12 @@
 //   substrate-hygiene   No raw host file I/O (fopen/fstream/...) in
 //                       src/core: every byte an operator moves must flow
 //                       through extmem::Device so it is charged.
+//   thread-discipline   std::thread / std::jthread / std::async /
+//                       pthread_create appear only in src/parallel/ —
+//                       everywhere else concurrency goes through
+//                       parallel::WorkerPool, so shard-confinement (one
+//                       Device/Tracer/Registry per shard, merged at the
+//                       barrier) is the only threading model in the tree.
 //
 // Usage:
 //   emjoin_lint [--root=DIR] [--json=PATH] [--rule=NAME ...]
@@ -94,6 +100,9 @@ constexpr RuleInfo kRules[] = {
     {"substrate-hygiene",
      "no raw host file I/O in src/core (all bytes flow through "
      "extmem::Device)"},
+    {"thread-discipline",
+     "raw thread spawns (std::thread/std::jthread/std::async/"
+     "pthread_create) only in src/parallel; use parallel::WorkerPool"},
 };
 
 bool KnownRule(std::string_view name) {
@@ -526,6 +535,29 @@ void CheckSubstrateHygiene(const FileModel& m, std::vector<Finding>* out) {
   }
 }
 
+// Rule: thread-discipline. Raw thread-spawn primitives outside
+// src/parallel/ bypass the WorkerPool, and with it the one threading
+// model the merge layer is correct under (shard-confined state, joined
+// before the per-shard reports are read). The match is lexical on the
+// qualified spelling, so `threads_` members and `#include <thread>`
+// lines do not fire.
+void CheckThreadDiscipline(const FileModel& m, std::vector<Finding>* out) {
+  if (Under(m.path, "src/parallel/")) return;
+  static constexpr std::string_view kSpawns[] = {
+      "std::thread", "std::jthread", "std::async", "pthread_create"};
+  for (std::size_t i = 0; i < m.code.size(); ++i) {
+    const std::string& line = m.code[i];
+    for (std::string_view name : kSpawns) {
+      if (FindToken(line, name) == std::string_view::npos) continue;
+      AddFinding(out, m, i, "thread-discipline",
+                 std::string(name) +
+                     " outside src/parallel: route work through "
+                     "parallel::WorkerPool (shard-confined state is the "
+                     "only supported threading model)");
+    }
+  }
+}
+
 // ---------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------
@@ -662,6 +694,9 @@ int main(int argc, char** argv) {
     }
     if (RuleEnabled(only_rules, "substrate-hygiene")) {
       CheckSubstrateHygiene(m, &file_findings);
+    }
+    if (RuleEnabled(only_rules, "thread-discipline")) {
+      CheckThreadDiscipline(m, &file_findings);
     }
     std::sort(file_findings.begin(), file_findings.end(),
               [](const Finding& a, const Finding& b) {
