@@ -18,6 +18,7 @@
 #include "gens/psi.h"
 #include "metrics/collect.h"
 #include "metrics/obs.h"
+#include "obs/runtime.h"
 #include "parallel/parallel_join.h"
 #include "trace/sinks.h"
 #include "trace/tracer.h"
@@ -90,10 +91,12 @@ inline void AttachTracer(extmem::Device* dev) {
   if (GlobalTraceConfig().enabled) dev->set_tracer(&GlobalTracer());
 }
 
-/// Attaches every requested observer (tracer, metrics registry).
+/// Attaches every requested observer (tracer, metrics registry, live
+/// telemetry). All observer-only: zero charged I/Os either way.
 inline void AttachObservers(extmem::Device* dev) {
   AttachTracer(dev);
   metrics::AttachMetrics(dev);
+  obs::AttachTelemetry(dev);
 }
 
 /// Interns a dynamic span name (SpanRecord stores a borrowed pointer).
@@ -382,7 +385,7 @@ inline parallel::ParallelJoinReport RunJoinAutoSharded(
   parallel::ParallelOptions options;
   options.shards = GlobalShardConfig().shards;
   options.workers = GlobalShardConfig().workers;
-  metrics::Registry* merged = metrics::GlobalObsConfig().metrics_enabled
+  metrics::Registry* merged = metrics::MetricsCollectionEnabled()
                                   ? &metrics::GlobalMetricsRegistry()
                                   : nullptr;
   auto result = parallel::TryParallelJoinAuto(rels, emit, options, merged);
@@ -453,6 +456,13 @@ inline bool ParseBenchFlags(int* argc, char** argv, const std::string& name,
     }
   }
   *argc = out;
+  if (ok) {
+    if (const extmem::Status status = obs::StartConfiguredExporter();
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      ok = false;
+    }
+  }
   return ok;
 }
 
@@ -505,6 +515,9 @@ inline Measured MeasureJoin(
       metrics::CollectFaultDelta(
           dev->fault_injector()->stats() - faults_before, reg);
     }
+    // Refresh the live /metrics body after each measured region so an
+    // HTTP scrape mid-bench sees up-to-date samples.
+    obs::PublishGlobalMetrics();
   }
 
   Measured m;
@@ -589,7 +602,10 @@ inline int FinishBench() {
     }
   }
   const int trace_rc = FinishTrace();
-  return rc != 0 ? rc : trace_rc;
+  if (rc == 0) rc = trace_rc;
+  // Telemetry epilogue last: pins /progress at 100 on success, dumps
+  // the flight recorder, lingers for a final scrape, stops the exporter.
+  return obs::FinishTelemetry(rc);
 }
 
 }  // namespace emjoin::bench

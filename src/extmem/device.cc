@@ -48,6 +48,7 @@ void Device::ChargeReadTuples(TupleCount tuples) {
     return;
   }
   stats_.block_reads += BlocksFor(tuples);
+  NotifyBlocks(BlocksFor(tuples), 0, /*recovery=*/false);
 }
 
 void Device::ChargeWriteTuples(TupleCount tuples) {
@@ -57,6 +58,7 @@ void Device::ChargeWriteTuples(TupleCount tuples) {
     return;
   }
   stats_.block_writes += BlocksFor(tuples);
+  NotifyBlocks(0, BlocksFor(tuples), /*recovery=*/false);
 }
 
 TupleCount Device::PlanningBudget() {
@@ -70,6 +72,8 @@ TupleCount Device::PlanningBudget() {
             injector_->NextShrink(stats_.total(), current, floor)) {
       gauge_.SetEnforcedLimit(*next);
       trace::Count(this, "budget_shrinks", 1);
+      NotifyEvent(ObsEventKind::kBudgetShrink, "planning_budget", *next,
+                  current);
     }
   }
   return std::min(memory_tuples_, gauge_.limit());
@@ -90,11 +94,13 @@ TupleCount Device::PlanningBudget() {
 void Device::ChargeRecoveryReads(std::uint64_t blocks) {
   stats_.block_reads += blocks;
   FindTagEntry("recovery")->block_reads += blocks;
+  NotifyBlocks(blocks, 0, /*recovery=*/true);
 }
 
 void Device::ChargeRecoveryWrites(std::uint64_t blocks) {
   stats_.block_writes += blocks;
   FindTagEntry("recovery")->block_writes += blocks;
+  NotifyBlocks(0, blocks, /*recovery=*/true);
 }
 
 void Device::CheckCapacityForWrite() {
@@ -112,10 +118,12 @@ void Device::FaultyChargeReads(std::uint64_t blocks, bool tagged) {
   for (std::uint64_t b = 0; b < blocks; ++b) {
     std::uint32_t failures = 0;
     while (injector_->NextReadFails()) {
+      NotifyEvent(ObsEventKind::kReadFault, "read");
       ChargeRecoveryReads(1);  // the failed transfer still cost a tick
       ++failures;
       if (failures > policy.max_retries) {
         injector_->CountExhaustion();
+        NotifyEvent(ObsEventKind::kRetryExhausted, "read", failures);
         throw StatusException(
             Status(StatusCode::kIoError,
                    "block read failed after " + std::to_string(failures) +
@@ -125,9 +133,11 @@ void Device::FaultyChargeReads(std::uint64_t blocks, bool tagged) {
       ChargeRecoveryReads(backoff);
       injector_->CountRetry(backoff);
       trace::Count(this, "io_retries", 1);
+      NotifyEvent(ObsEventKind::kRetry, "read", backoff, failures);
     }
     stats_.block_reads += 1;
     if (tagged) TagEntry()->block_reads += 1;
+    NotifyBlocks(1, 0, /*recovery=*/false);
   }
 }
 
@@ -137,10 +147,12 @@ void Device::FaultyChargeWrites(std::uint64_t blocks, bool tagged) {
     // Transient failures before the block lands.
     std::uint32_t failures = 0;
     while (injector_->NextWriteFails()) {
+      NotifyEvent(ObsEventKind::kWriteFault, "write");
       ChargeRecoveryWrites(1);
       ++failures;
       if (failures > policy.max_retries) {
         injector_->CountExhaustion();
+        NotifyEvent(ObsEventKind::kRetryExhausted, "write", failures);
         throw StatusException(
             Status(StatusCode::kIoError,
                    "block write failed after " + std::to_string(failures) +
@@ -150,19 +162,23 @@ void Device::FaultyChargeWrites(std::uint64_t blocks, bool tagged) {
       ChargeRecoveryWrites(backoff);
       injector_->CountRetry(backoff);
       trace::Count(this, "io_retries", 1);
+      NotifyEvent(ObsEventKind::kRetry, "write", backoff, failures);
     }
     CheckCapacityForWrite();
     stats_.block_writes += 1;
     if (tagged) TagEntry()->block_writes += 1;
+    NotifyBlocks(0, 1, /*recovery=*/false);
 
     // Torn landings: the verify read detects the tear, the rewrite
     // repairs it (and is itself subject to transient write faults).
     std::uint32_t tears = 0;
     while (injector_->NextWriteTorn()) {
+      NotifyEvent(ObsEventKind::kTornWrite, "write", tears + 1);
       ChargeRecoveryReads(1);  // verify read that caught the tear
       ++tears;
       if (tears > policy.max_retries) {
         injector_->CountExhaustion();
+        NotifyEvent(ObsEventKind::kRetryExhausted, "torn", tears);
         throw StatusException(
             Status(StatusCode::kDataLoss,
                    "torn block write could not be repaired after " +
@@ -173,10 +189,13 @@ void Device::FaultyChargeWrites(std::uint64_t blocks, bool tagged) {
       trace::Count(this, "torn_rewrites", 1);
       std::uint32_t rewrite_failures = 0;
       while (injector_->NextWriteFails()) {
+        NotifyEvent(ObsEventKind::kWriteFault, "rewrite");
         ChargeRecoveryWrites(1);
         ++rewrite_failures;
         if (rewrite_failures > policy.max_retries) {
           injector_->CountExhaustion();
+          NotifyEvent(ObsEventKind::kRetryExhausted, "rewrite",
+                      rewrite_failures);
           throw StatusException(Status(
               StatusCode::kIoError,
               "rewrite of torn block failed after " +
@@ -186,6 +205,8 @@ void Device::FaultyChargeWrites(std::uint64_t blocks, bool tagged) {
         const std::uint64_t backoff = policy.BackoffFor(rewrite_failures - 1);
         ChargeRecoveryWrites(backoff);
         injector_->CountRetry(backoff);
+        NotifyEvent(ObsEventKind::kRetry, "rewrite", backoff,
+                    rewrite_failures);
       }
       CheckCapacityForWrite();
       ChargeRecoveryWrites(1);  // the repairing rewrite lands

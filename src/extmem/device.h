@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "extmem/defs.h"
+#include "extmem/event_hook.h"
 #include "extmem/io_stats.h"
 #include "extmem/memory_gauge.h"
 
@@ -66,6 +67,7 @@ class Device {
     }
     stats_.block_reads += blocks;
     TagEntry()->block_reads += blocks;
+    NotifyBlocks(blocks, 0, /*recovery=*/false);
   }
   void ChargeWriteBlocks(std::uint64_t blocks) {
     if (injector_ != nullptr) [[unlikely]] {
@@ -74,6 +76,7 @@ class Device {
     }
     stats_.block_writes += blocks;
     TagEntry()->block_writes += blocks;
+    NotifyBlocks(0, blocks, /*recovery=*/false);
   }
 
   /// Blocks needed to hold `tuples` tuples.
@@ -140,6 +143,16 @@ class Device {
   void set_metrics(metrics::Registry* registry) { metrics_ = registry; }
   metrics::Registry* metrics() const { return metrics_; }
 
+  /// Optional live-event sink (see extmem/event_hook.h). The fourth
+  /// observer hook, and like the others a pure one: the sink is told
+  /// about charges and structured events (faults, retries, shrinks,
+  /// phase marks) but can never alter them, so attaching it changes
+  /// zero block counts (pinned by io_invariance tests). Sharded
+  /// execution wires each shard device to `sink->ShardView(s)`, so the
+  /// sink must be thread-safe when shards run on worker threads.
+  void set_events(IoEventSink* events) { events_ = events; }
+  IoEventSink* events() const { return events_; }
+
   /// The tuple budget operators should plan against: min(M, enforced
   /// gauge limit). This is also the safe point where pending
   /// injector-scheduled budget shrinks take effect (shrinks are applied
@@ -173,12 +186,26 @@ class Device {
   void ChargeRecoveryWrites(std::uint64_t blocks);
   void CheckCapacityForWrite();
 
+  void NotifyBlocks(std::uint64_t reads, std::uint64_t writes,
+                    bool recovery) {
+    if (events_ != nullptr) [[unlikely]] {
+      events_->OnBlocks(reads, writes, recovery);
+    }
+  }
+  void NotifyEvent(ObsEventKind kind, const char* name, std::uint64_t a = 0,
+                   std::uint64_t b = 0) {
+    if (events_ != nullptr) [[unlikely]] {
+      events_->OnEvent(ObsEvent{kind, name, a, b, ObsEvent::kNoShard});
+    }
+  }
+
   const char* tag_ = "scan";
   IoStats* tag_entry_ = nullptr;
   std::map<std::string, IoStats, std::less<>> per_tag_;
   trace::Tracer* tracer_ = nullptr;
   FaultInjector* injector_ = nullptr;
   metrics::Registry* metrics_ = nullptr;
+  IoEventSink* events_ = nullptr;
 };
 
 /// RAII I/O-attribution scope: all charges on `device` between

@@ -1,0 +1,74 @@
+#ifndef EMJOIN_EXTMEM_EVENT_HOOK_H_
+#define EMJOIN_EXTMEM_EVENT_HOOK_H_
+
+#include <cstdint>
+
+namespace emjoin::extmem {
+
+/// Structured observability events, emitted by the Device's charge
+/// paths, the fault injector sites, trace::Span phase boundaries, and
+/// the parallel merge barrier. Like the tracer and the metrics
+/// registry, the event hook is a pure observer: a sink never charges or
+/// suppresses an I/O, so attaching one changes zero block counts
+/// (pinned by io_invariance tests).
+enum class ObsEventKind : std::uint8_t {
+  kPhaseBegin,      // a trace::Span opened (name = span name)
+  kPhaseEnd,        // the matching span closed
+  kReadFault,       // injector failed one block read
+  kWriteFault,      // injector failed one block write
+  kTornWrite,       // a landed write was detected torn
+  kRetry,           // a failed transfer is being retried (a = backoff I/Os)
+  kRetryExhausted,  // retries exhausted; a typed error is about to raise
+  kBudgetShrink,    // memory budget shrank (a = new limit, b = old limit)
+  kShardStart,      // a shard task started (parallel execution)
+  kShardFinish,     // a shard task finished (a = 1 ok, 0 failed)
+  kWatermark,       // a peak-residency watermark (a = tuples)
+  kQueryComplete,   // the whole query finished successfully
+};
+
+/// One event. `name` follows the Device-tag convention: a string
+/// literal (or interned string) that outlives the process's use of the
+/// event, so sinks may store the pointer without copying.
+struct ObsEvent {
+  static constexpr std::uint32_t kNoShard = 0xffffffffu;
+
+  ObsEventKind kind = ObsEventKind::kPhaseBegin;
+  const char* name = "";
+  std::uint64_t a = 0;  // kind-specific payload (see ObsEventKind)
+  std::uint64_t b = 0;
+  std::uint32_t shard = kNoShard;  // stamped by per-shard sink views
+};
+
+/// Abstract event sink, attached to a Device like the tracer and the
+/// registry (nullptr by default; one `[[unlikely]]` branch per charge
+/// when detached). Implementations must be thread-safe when attached to
+/// devices driven from worker threads: sharded execution routes each
+/// shard's device through `ShardView(s)`, and the views of one sink run
+/// concurrently.
+class IoEventSink {
+ public:
+  virtual ~IoEventSink() = default;
+
+  /// Called after `reads`/`writes` blocks were charged to the device.
+  /// `recovery` marks fault-overhead charges (the "recovery" tag:
+  /// failed-transfer ticks, backoff, verify reads, rewrites) so sinks
+  /// can keep algorithm progress free of retry noise.
+  virtual void OnBlocks(std::uint64_t reads, std::uint64_t writes,
+                        bool recovery) = 0;
+
+  /// Called at most a handful of times per phase (never per tuple).
+  virtual void OnEvent(const ObsEvent& event) = 0;
+
+  /// The facet a shard-local device should be wired to: events flowing
+  /// through the view are stamped with `shard` before reaching the
+  /// underlying sink. The base implementation ignores sharding, which
+  /// lets src/parallel attach views without knowing the concrete sink.
+  virtual IoEventSink* ShardView(std::uint32_t shard) {
+    (void)shard;
+    return this;
+  }
+};
+
+}  // namespace emjoin::extmem
+
+#endif  // EMJOIN_EXTMEM_EVENT_HOOK_H_

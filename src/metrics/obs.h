@@ -6,12 +6,22 @@
 //   --metrics=PATH             export the global metrics registry
 //   --metrics-format={json,prom}   export format (default json)
 //   --audit=PATH               write a measured-vs-bound audit file
+//   --export-port=PORT         serve /metrics, /healthz, /progress,
+//                              /events over HTTP while the run lasts
+//                              (0 picks an ephemeral port)
+//   --export-linger-ms=MS      keep the exporter up this long after the
+//                              run finishes, for one final scrape
+//   --recorder=PATH            dump the flight-recorder event log as
+//                              JSONL when the run exits
 //
 // Header-only so tools and benches share one parser without a new
 // library target. The registry itself stays observer-only: attaching
 // it to a Device changes zero charged I/Os (pinned by io_invariance).
+// The live-telemetry side of these flags (attachment, exporter
+// lifecycle) lives in obs/runtime.h, one layer up.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 
@@ -25,6 +35,9 @@ struct ObsConfig {
   std::string metrics_path;
   std::string metrics_format = "json";  // json | prom
   std::string audit_path;               // empty: no audit output
+  int export_port = -1;                 // <0: no HTTP exporter
+  unsigned export_linger_ms = 0;        // exporter grace after the run
+  std::string recorder_path;            // empty: no flight-recorder dump
 };
 
 inline ObsConfig& GlobalObsConfig() {
@@ -70,12 +83,54 @@ inline int ParseObsFlag(std::string_view arg) {
     }
     return 1;
   }
+  if (arg.rfind("--export-port=", 0) == 0) {
+    const std::string value(arg.substr(14));
+    char* end = nullptr;
+    const long port = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || end == nullptr || *end != '\0' || port < 0 ||
+        port > 65535) {
+      std::fprintf(stderr, "--export-port requires a port in [0, 65535]\n");
+      return -1;
+    }
+    config.export_port = static_cast<int>(port);
+    return 1;
+  }
+  if (arg.rfind("--export-linger-ms=", 0) == 0) {
+    const std::string value(arg.substr(19));
+    char* end = nullptr;
+    const long ms = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || end == nullptr || *end != '\0' || ms < 0) {
+      std::fprintf(stderr,
+                   "--export-linger-ms requires a non-negative integer\n");
+      return -1;
+    }
+    config.export_linger_ms = static_cast<unsigned>(ms);
+    return 1;
+  }
+  if (arg.rfind("--recorder=", 0) == 0) {
+    config.recorder_path = std::string(arg.substr(11));
+    if (config.recorder_path.empty()) {
+      std::fprintf(stderr, "--recorder requires a path\n");
+      return -1;
+    }
+    return 1;
+  }
   return 0;
 }
 
-/// Attaches the global registry to `dev` iff --metrics was requested.
+/// True when per-run registry collection should happen: either the user
+/// asked for a metrics file, or the HTTP exporter needs fresh samples
+/// to serve on /metrics.
+inline bool MetricsCollectionEnabled() {
+  const ObsConfig& config = GlobalObsConfig();
+  return config.metrics_enabled || config.export_port >= 0;
+}
+
+/// Attaches the global registry to `dev` whenever samples will be
+/// consumed — a metrics file was requested, or the HTTP exporter will
+/// serve them live.
 inline void AttachMetrics(extmem::Device* dev) {
-  if (GlobalObsConfig().metrics_enabled) {
+  if (MetricsCollectionEnabled()) {
     dev->set_metrics(&GlobalMetricsRegistry());
   }
 }

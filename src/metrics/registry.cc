@@ -1,15 +1,44 @@
 #include "metrics/registry.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 namespace emjoin::metrics {
 
 namespace {
 
 void AppendEscaped(std::string* out, const std::string& s) {
+  Registry::AppendEscapedLabelValue(out, s);
+}
+
+// HELP text escaping differs from label values: only backslash and
+// newline are escaped (quotes are legal in help text).
+void AppendEscapedHelp(std::string* out, const std::string& s) {
   for (const char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+std::string U64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+void Registry::AppendEscapedLabelValue(std::string* out,
+                                       const std::string& value) {
+  for (const char c : value) {
     switch (c) {
       case '"':
         *out += "\\\"";
@@ -26,9 +55,9 @@ void AppendEscaped(std::string* out, const std::string& s) {
   }
 }
 
-std::string U64(std::uint64_t v) { return std::to_string(v); }
-
-}  // namespace
+void Registry::SetHelp(const std::string& family, const std::string& help) {
+  help_[family] = help;
+}
 
 std::string Registry::LabelKey(const Labels& labels) {
   if (labels.empty()) return "";
@@ -111,6 +140,9 @@ void Registry::MergeFrom(const Registry& other, const Labels& extra_labels) {
       histograms_[family][rekey(key)].MergeFrom(hist);
     }
   }
+  for (const auto& [family, help] : other.help_) {
+    help_.emplace(family, help);  // first writer wins
+  }
 }
 
 void Registry::MergeFrom(const Registry& other) {
@@ -128,6 +160,9 @@ void Registry::MergeFrom(const Registry& other) {
     for (const auto& [key, hist] : series) {
       histograms_[family][key].MergeFrom(hist);
     }
+  }
+  for (const auto& [family, help] : other.help_) {
+    help_.emplace(family, help);  // first writer wins
   }
 }
 
@@ -186,20 +221,31 @@ std::string Registry::ToJson() const {
 }
 
 std::string Registry::ToPrometheusText() const {
+  const auto help_line = [this](const std::string& family) {
+    std::string line = "# HELP " + family + " ";
+    const auto it = help_.find(family);
+    AppendEscapedHelp(&line, it != help_.end() ? it->second
+                                               : "emjoin collected metric");
+    line += "\n";
+    return line;
+  };
   std::string out;
   for (const auto& [family, series] : counters_) {
+    out += help_line(family);
     out += "# TYPE " + family + " counter\n";
     for (const auto& [key, counter] : series) {
       out += family + key + " " + U64(counter.value()) + "\n";
     }
   }
   for (const auto& [family, series] : gauges_) {
+    out += help_line(family);
     out += "# TYPE " + family + " gauge\n";
     for (const auto& [key, gauge] : series) {
       out += family + key + " " + U64(gauge.value()) + "\n";
     }
   }
   for (const auto& [family, series] : histograms_) {
+    out += help_line(family);
     out += "# TYPE " + family + " histogram\n";
     for (const auto& [key, hist] : series) {
       // Prometheus buckets are cumulative and each carries an `le` label
@@ -243,6 +289,328 @@ bool Registry::WriteJson(const std::string& path) const {
 
 bool Registry::WritePrometheus(const std::string& path) const {
   return WriteFile(path, ToPrometheusText());
+}
+
+// ---------------------------------------------------------------------
+// Prometheus exposition-format conformance checking.
+// ---------------------------------------------------------------------
+
+namespace {
+
+bool ValidMetricName(const std::string& s) {
+  if (s.empty()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (alpha || c == '_' || c == ':') continue;
+    if (digit && i > 0) continue;
+    return false;
+  }
+  return true;
+}
+
+bool ValidLabelName(const std::string& s) {
+  if (s.empty()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (alpha || c == '_') continue;
+    if (digit && i > 0) continue;
+    return false;
+  }
+  return true;
+}
+
+bool ParseSampleValue(const std::string& token, double* out) {
+  if (token == "+Inf" || token == "Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-Inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "NaN") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (token.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+struct ParsedSample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+};
+
+// Parses `name{label="value",...} value [timestamp]`. Returns false with
+// a diagnostic in *err on any syntax violation.
+bool ParseSampleLine(const std::string& line, ParsedSample* out,
+                     std::string* err) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  out->name = line.substr(0, i);
+  if (!ValidMetricName(out->name)) {
+    *err = "bad metric name '" + out->name + "'";
+    return false;
+  }
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      std::size_t eq = i;
+      while (eq < line.size() && line[eq] != '=' && line[eq] != '}') ++eq;
+      if (eq >= line.size() || line[eq] != '=') {
+        *err = "label without '='";
+        return false;
+      }
+      const std::string label_name = line.substr(i, eq - i);
+      if (!ValidLabelName(label_name)) {
+        *err = "bad label name '" + label_name + "'";
+        return false;
+      }
+      i = eq + 1;
+      if (i >= line.size() || line[i] != '"') {
+        *err = "label value for '" + label_name + "' is not quoted";
+        return false;
+      }
+      ++i;
+      std::string value;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= line.size() ||
+              (line[i + 1] != '\\' && line[i + 1] != '"' &&
+               line[i + 1] != 'n')) {
+            *err = "invalid escape in label value of '" + label_name + "'";
+            return false;
+          }
+          value += line[i + 1] == 'n' ? '\n' : line[i + 1];
+          i += 2;
+        } else if (line[i] == '\n') {
+          *err = "unescaped newline in label value";
+          return false;
+        } else {
+          value += line[i];
+          ++i;
+        }
+      }
+      if (i >= line.size()) {
+        *err = "unterminated label value";
+        return false;
+      }
+      ++i;  // closing quote
+      out->labels.emplace_back(label_name, std::move(value));
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size()) {
+      *err = "unterminated label set";
+      return false;
+    }
+    ++i;  // closing brace
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    *err = "missing value";
+    return false;
+  }
+  while (i < line.size() && line[i] == ' ') ++i;
+  std::size_t value_end = i;
+  while (value_end < line.size() && line[value_end] != ' ') ++value_end;
+  if (!ParseSampleValue(line.substr(i, value_end - i), &out->value)) {
+    *err = "bad sample value '" + line.substr(i, value_end - i) + "'";
+    return false;
+  }
+  // Optional timestamp: a plain integer after the value.
+  while (value_end < line.size() && line[value_end] == ' ') ++value_end;
+  for (std::size_t t = value_end; t < line.size(); ++t) {
+    if (std::isdigit(static_cast<unsigned char>(line[t])) == 0 &&
+        !(t == value_end && line[t] == '-')) {
+      *err = "trailing garbage after value";
+      return false;
+    }
+  }
+  return true;
+}
+
+// Splits "# HELP name text" / "# TYPE name type" into (name, rest).
+bool SplitComment(const std::string& line, const std::string& keyword,
+                  std::string* name, std::string* rest) {
+  const std::string prefix = "# " + keyword + " ";
+  if (line.rfind(prefix, 0) != 0) return false;
+  const std::size_t name_begin = prefix.size();
+  const std::size_t name_end = line.find(' ', name_begin);
+  *name = line.substr(name_begin, name_end == std::string::npos
+                                      ? std::string::npos
+                                      : name_end - name_begin);
+  *rest = name_end == std::string::npos ? "" : line.substr(name_end + 1);
+  return true;
+}
+
+}  // namespace
+
+bool CheckPrometheusText(const std::string& text, std::string* error) {
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + msg;
+    }
+    return false;
+  };
+
+  std::map<std::string, std::string> types;  // family -> declared type
+  std::map<std::string, bool> helped;        // family -> HELP seen
+  std::map<std::string, bool> family_sampled;
+  // Histogram structure: family -> (non-le label key -> ordered
+  // (le, cumulative) pairs), plus the _count samples to cross-check.
+  std::map<std::string, std::map<std::string, std::vector<
+                            std::pair<double, double>>>> hist_buckets;
+  std::map<std::string, std::map<std::string, double>> hist_counts;
+
+  // Resolves a sample name to its declared family, honoring histogram
+  // suffixes. Empty when no TYPE line covers the sample.
+  const auto family_of = [&types](const std::string& name) -> std::string {
+    if (types.count(name) != 0) return name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::size_t len = std::string(suffix).size();
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0) {
+        const std::string base = name.substr(0, name.size() - len);
+        const auto it = types.find(base);
+        if (it != types.end() && it->second == "histogram") return base;
+      }
+    }
+    return "";
+  };
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? std::string::npos
+                                                  : eol - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      std::string name, rest;
+      if (SplitComment(line, "TYPE", &name, &rest)) {
+        if (!ValidMetricName(name)) return fail("bad family name in TYPE");
+        if (rest != "counter" && rest != "gauge" && rest != "histogram" &&
+            rest != "summary" && rest != "untyped") {
+          return fail("unknown type '" + rest + "' for " + name);
+        }
+        if (types.count(name) != 0) return fail("duplicate TYPE for " + name);
+        if (family_sampled[name]) {
+          return fail("TYPE for " + name + " after its samples");
+        }
+        types[name] = rest;
+      } else if (SplitComment(line, "HELP", &name, &rest)) {
+        if (!ValidMetricName(name)) return fail("bad family name in HELP");
+        if (helped[name]) return fail("duplicate HELP for " + name);
+        if (family_sampled[name]) {
+          return fail("HELP for " + name + " after its samples");
+        }
+        helped[name] = true;
+        for (std::size_t i = 0; i < rest.size(); ++i) {
+          if (rest[i] == '\\' &&
+              (i + 1 >= rest.size() ||
+               (rest[i + 1] != '\\' && rest[i + 1] != 'n'))) {
+            return fail("invalid escape in HELP text for " + name);
+          }
+          if (rest[i] == '\\') ++i;
+        }
+      }
+      continue;  // other comments are free-form
+    }
+
+    ParsedSample sample;
+    std::string err;
+    if (!ParseSampleLine(line, &sample, &err)) return fail(err);
+    const std::string family = family_of(sample.name);
+    if (family.empty()) {
+      return fail("sample '" + sample.name + "' has no preceding # TYPE");
+    }
+    family_sampled[family] = true;
+
+    if (types[family] == "histogram") {
+      Labels without_le;
+      double le = 0.0;
+      bool has_le = false;
+      for (const auto& [k, v] : sample.labels) {
+        if (k == "le") {
+          has_le = true;
+          if (!ParseSampleValue(v, &le)) {
+            return fail("unparsable le '" + v + "'");
+          }
+        } else {
+          without_le.emplace_back(k, v);
+        }
+      }
+      const std::string key = Registry::LabelKey(without_le);
+      if (sample.name == family + "_bucket") {
+        if (!has_le) return fail("histogram bucket without le label");
+        hist_buckets[family][key].emplace_back(le, sample.value);
+      } else if (sample.name == family + "_count") {
+        if (has_le) return fail("histogram _count with le label");
+        hist_counts[family][key] = sample.value;
+      } else if (has_le) {
+        return fail("le label outside _bucket series");
+      }
+    }
+  }
+
+  for (const auto& [family, groups] : hist_buckets) {
+    for (const auto& [key, buckets] : groups) {
+      const std::string where =
+          family + (key.empty() ? std::string() : key);
+      double prev_le = -std::numeric_limits<double>::infinity();
+      double prev_count = -1.0;
+      bool has_inf = false;
+      double inf_count = 0.0;
+      for (const auto& [le, count] : buckets) {
+        if (le <= prev_le) {
+          if (error != nullptr) {
+            *error = where + ": buckets not sorted by le";
+          }
+          return false;
+        }
+        if (count < prev_count) {
+          if (error != nullptr) {
+            *error = where + ": bucket counts not cumulative";
+          }
+          return false;
+        }
+        prev_le = le;
+        prev_count = count;
+        if (le == std::numeric_limits<double>::infinity()) {
+          has_inf = true;
+          inf_count = count;
+        }
+      }
+      if (!has_inf) {
+        if (error != nullptr) *error = where + ": missing le=\"+Inf\" bucket";
+        return false;
+      }
+      const auto counts_it = hist_counts.find(family);
+      if (counts_it == hist_counts.end() ||
+          counts_it->second.count(key) == 0) {
+        if (error != nullptr) *error = where + ": missing _count series";
+        return false;
+      }
+      if (counts_it->second.at(key) != inf_count) {
+        if (error != nullptr) {
+          *error = where + ": le=\"+Inf\" bucket does not equal _count";
+        }
+        return false;
+      }
+    }
+  }
+  if (error != nullptr) error->clear();
+  return true;
 }
 
 }  // namespace emjoin::metrics

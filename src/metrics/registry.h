@@ -109,6 +109,11 @@ class Registry {
   Histogram* GetHistogram(const std::string& family,
                           const Labels& labels = {});
 
+  /// Sets the family's `# HELP` text for the Prometheus exposition.
+  /// Families without help text get a generic default line, so the
+  /// exposition always carries HELP before TYPE for every family.
+  void SetHelp(const std::string& family, const std::string& help);
+
   /// Folds `other` in: counters and histograms add, gauges keep the max.
   void MergeFrom(const Registry& other);
 
@@ -125,8 +130,10 @@ class Registry {
   /// series keys are `family{label="value",...}`. Deterministic order.
   std::string ToJson() const;
 
-  /// Prometheus text exposition format (one # TYPE line per family,
-  /// cumulative histogram buckets with _bucket/_sum/_count series).
+  /// Prometheus text exposition format: `# HELP` and `# TYPE` lines per
+  /// family, fully escaped label values, cumulative histogram buckets
+  /// with _bucket/_sum/_count series. Conformance is pinned by
+  /// CheckPrometheusText (metrics_test + the CI telemetry smoke job).
   std::string ToPrometheusText() const;
 
   bool WriteJson(const std::string& path) const;
@@ -135,6 +142,11 @@ class Registry {
   /// Canonical series key: `{k1="v1",k2="v2"}` with keys sorted, or ""
   /// for a label-free series.
   static std::string LabelKey(const Labels& labels);
+
+  /// Appends `value` with Prometheus label-value escaping (backslash,
+  /// double quote, and newline become \\, \", and \n).
+  static void AppendEscapedLabelValue(std::string* out,
+                                      const std::string& value);
 
  private:
   /// Inverse of LabelKey: reconstructs the label pairs from a canonical
@@ -148,7 +160,19 @@ class Registry {
   FamilyMap<Counter> counters_;
   FamilyMap<Gauge> gauges_;
   FamilyMap<Histogram> histograms_;
+  std::map<std::string, std::string> help_;
 };
+
+/// Validates `text` against the Prometheus text exposition format:
+/// comment/sample line syntax, metric and label name charsets, label
+/// value escaping, float sample values, HELP/TYPE at most once per
+/// family with TYPE preceding that family's samples, every sample
+/// preceded by its family's TYPE, and histogram structure (each
+/// _bucket series carries `le`, cumulative counts are non-decreasing,
+/// the mandatory le="+Inf" bucket is present and equals _count).
+/// Returns true when the text conforms; otherwise false with a
+/// line-numbered diagnostic in *error (when non-null).
+bool CheckPrometheusText(const std::string& text, std::string* error);
 
 }  // namespace emjoin::metrics
 

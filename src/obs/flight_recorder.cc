@@ -1,0 +1,109 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+
+namespace emjoin::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void FlightRecorder::Record(const extmem::ObsEvent& event,
+                            std::uint64_t clock) {
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[seq % capacity_];
+  // Invalidate first so a concurrent Snapshot never pairs the old ticket
+  // with the new payload; then fill the payload (each field atomic, so
+  // no field-level race either); publish last with a release store.
+  slot.ticket.store(0, std::memory_order_release);
+  slot.name.store(event.name, std::memory_order_relaxed);
+  slot.a.store(event.a, std::memory_order_relaxed);
+  slot.b.store(event.b, std::memory_order_relaxed);
+  slot.clock.store(clock, std::memory_order_relaxed);
+  slot.shard.store(event.shard, std::memory_order_relaxed);
+  slot.kind.store(static_cast<std::uint8_t>(event.kind),
+                  std::memory_order_relaxed);
+  slot.ticket.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<RecordedEvent> FlightRecorder::Snapshot() const {
+  std::vector<RecordedEvent> out;
+  const std::uint64_t total = next_.load(std::memory_order_acquire);
+  if (total == 0) return out;
+  const std::uint64_t first = total > capacity_ ? total - capacity_ : 0;
+  out.reserve(static_cast<std::size_t>(total - first));
+  for (std::uint64_t seq = first; seq < total; ++seq) {
+    const Slot& slot = slots_[seq % capacity_];
+    if (slot.ticket.load(std::memory_order_acquire) != seq + 1) continue;
+    RecordedEvent rec;
+    rec.seq = seq;
+    rec.clock = slot.clock.load(std::memory_order_relaxed);
+    rec.event.kind = static_cast<extmem::ObsEventKind>(
+        slot.kind.load(std::memory_order_relaxed));
+    rec.event.name = slot.name.load(std::memory_order_relaxed);
+    rec.event.a = slot.a.load(std::memory_order_relaxed);
+    rec.event.b = slot.b.load(std::memory_order_relaxed);
+    rec.event.shard = slot.shard.load(std::memory_order_relaxed);
+    // The slot may have been overwritten (or half-written) while we
+    // copied it; the re-check discards such torn reads.
+    if (slot.ticket.load(std::memory_order_acquire) != seq + 1) continue;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::string FlightRecorder::ToJsonl() const {
+  std::string out;
+  for (const RecordedEvent& rec : Snapshot()) {
+    out += "{\"seq\": " + std::to_string(rec.seq);
+    out += ", \"clock\": " + std::to_string(rec.clock);
+    out += ", \"kind\": \"";
+    out += KindName(rec.event.kind);
+    out += "\", \"name\": \"";
+    out += rec.event.name != nullptr ? rec.event.name : "";
+    out += "\", \"a\": " + std::to_string(rec.event.a);
+    out += ", \"b\": " + std::to_string(rec.event.b);
+    if (rec.event.shard != extmem::ObsEvent::kNoShard) {
+      out += ", \"shard\": " + std::to_string(rec.event.shard);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+bool FlightRecorder::WriteJsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "flight recorder: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string body = ToJsonl();
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "flight recorder: short write to %s\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+const char* FlightRecorder::KindName(extmem::ObsEventKind kind) {
+  switch (kind) {
+    case extmem::ObsEventKind::kPhaseBegin: return "phase_begin";
+    case extmem::ObsEventKind::kPhaseEnd: return "phase_end";
+    case extmem::ObsEventKind::kReadFault: return "read_fault";
+    case extmem::ObsEventKind::kWriteFault: return "write_fault";
+    case extmem::ObsEventKind::kTornWrite: return "torn_write";
+    case extmem::ObsEventKind::kRetry: return "retry";
+    case extmem::ObsEventKind::kRetryExhausted: return "retry_exhausted";
+    case extmem::ObsEventKind::kBudgetShrink: return "budget_shrink";
+    case extmem::ObsEventKind::kShardStart: return "shard_start";
+    case extmem::ObsEventKind::kShardFinish: return "shard_finish";
+    case extmem::ObsEventKind::kWatermark: return "watermark";
+    case extmem::ObsEventKind::kQueryComplete: return "query_complete";
+  }
+  return "unknown";
+}
+
+}  // namespace emjoin::obs

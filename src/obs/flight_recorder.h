@@ -1,0 +1,87 @@
+#ifndef EMJOIN_OBS_FLIGHT_RECORDER_H_
+#define EMJOIN_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "extmem/event_hook.h"
+
+namespace emjoin::obs {
+
+/// One event captured by the flight recorder, with its capture context.
+struct RecordedEvent {
+  extmem::ObsEvent event;
+  std::uint64_t seq = 0;    // global capture order (0-based, never reused)
+  std::uint64_t clock = 0;  // virtual I/O clock at capture (block I/Os)
+};
+
+/// Fixed-size lock-free ring buffer of structured observability events:
+/// phase transitions, fault/retry outcomes, budget shrinks, shard
+/// start/finish, watermarks. The newest `capacity` events survive; a
+/// wrapped ring still tells the post-mortem story because the events
+/// that precede a failure are exactly the ones that remain.
+///
+/// Writers (operator threads, shard workers) reserve a slot with one
+/// fetch_add and publish it with a release store of its ticket; every
+/// payload field is itself atomic, so concurrent Record/Snapshot never
+/// race (the ring is exercised under TSan via the tsan-smoke preset).
+/// Timestamps are the virtual I/O clock — the cost model's notion of
+/// time — never wall time, keeping dumps deterministic for fixed seeds.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Captures one event at virtual time `clock`. Lock-free, wait-free
+  /// apart from the slot reservation fetch_add.
+  void Record(const extmem::ObsEvent& event, std::uint64_t clock);
+
+  /// Total events ever recorded (recorded() - size() have been
+  /// overwritten by ring wrap-around).
+  [[nodiscard]] std::uint64_t recorded() const {
+    return next_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// The surviving events, oldest first. Slots mid-write by a
+  /// concurrent Record are skipped (their ticket check fails), so a
+  /// snapshot taken during a run is consistent, just possibly one
+  /// event short.
+  [[nodiscard]] std::vector<RecordedEvent> Snapshot() const;
+
+  /// JSONL dump: one {"seq","clock","kind","name",...} object per line.
+  [[nodiscard]] std::string ToJsonl() const;
+
+  /// Writes ToJsonl() to `path`; false (after a stderr diagnostic) when
+  /// the file cannot be written. This is the on-error-exit post-mortem
+  /// artifact and the `/events` endpoint body.
+  [[nodiscard]] bool WriteJsonl(const std::string& path) const;
+
+  /// Stable lowercase name for a kind ("phase_begin", "read_fault",...).
+  static const char* KindName(extmem::ObsEventKind kind);
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> ticket{0};  // 0 = empty, else seq + 1
+    std::atomic<const char*> name{""};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::atomic<std::uint64_t> clock{0};
+    std::atomic<std::uint32_t> shard{extmem::ObsEvent::kNoShard};
+    std::atomic<std::uint8_t> kind{0};
+  };
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+}  // namespace emjoin::obs
+
+#endif  // EMJOIN_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,165 @@
+#include "obs/http_exporter.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace emjoin::obs {
+
+namespace {
+
+// One scrape request/response cycle must finish within this many poll
+// rounds of kPollMs each; a stalled client is dropped, never waited on.
+constexpr int kPollMs = 100;
+constexpr int kMaxRequestRounds = 20;
+
+std::string HttpResponse(const char* status, const char* content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(Telemetry* telemetry) : telemetry_(telemetry) {}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+extmem::Status HttpExporter::Start(std::uint16_t port) {
+  if (running()) {
+    return extmem::Status(extmem::StatusCode::kInternal,
+                          "http exporter already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return extmem::Status(extmem::StatusCode::kIoError,
+                          "http exporter: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return extmem::Status(
+        extmem::StatusCode::kIoError,
+        "http exporter: cannot listen on 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  stop_.store(false, std::memory_order_release);
+  pool_ = std::make_unique<parallel::WorkerPool>(1);
+  pool_->Submit([this] { Serve(); });
+  return extmem::Status::Ok();
+}
+
+void HttpExporter::Stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_release);
+  pool_.reset();  // drains the serve task, joins the worker
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExporter::PublishMetrics(std::string text) {
+  const std::lock_guard<std::mutex> lock(metrics_mu_);
+  metrics_text_ = std::move(text);
+}
+
+void HttpExporter::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpExporter::HandleConnection(int fd) {
+  // Read until the request line is terminated; scrapers send the whole
+  // request in one segment, so a couple of rounds suffice.
+  std::string request;
+  for (int round = 0; round < kMaxRequestRounds; ++round) {
+    if (request.find('\n') != std::string::npos) break;
+    if (stop_.load(std::memory_order_acquire)) return;
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, kPollMs) <= 0) continue;
+    char buf[1024];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t eol = request.find('\n');
+  if (eol == std::string::npos) return;
+  std::string line = request.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::string response = ResponseFor(line);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n =
+        ::send(fd, response.data() + sent, response.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string HttpExporter::ResponseFor(const std::string& request_line) {
+  // "GET <path> HTTP/1.x" — anything else is a 400.
+  if (request_line.rfind("GET ", 0) != 0) {
+    return HttpResponse("400 Bad Request", "text/plain", "bad request\n");
+  }
+  const std::size_t path_begin = 4;
+  const std::size_t path_end = request_line.find(' ', path_begin);
+  const std::string path =
+      request_line.substr(path_begin, path_end == std::string::npos
+                                          ? std::string::npos
+                                          : path_end - path_begin);
+  if (path == "/healthz") {
+    return HttpResponse("200 OK", "text/plain", "ok\n");
+  }
+  if (path == "/metrics") {
+    std::string body;
+    {
+      const std::lock_guard<std::mutex> lock(metrics_mu_);
+      body = metrics_text_;
+    }
+    return HttpResponse("200 OK", "text/plain; version=0.0.4", body);
+  }
+  if (path == "/progress") {
+    return HttpResponse("200 OK", "application/json",
+                        telemetry_->tracker().Snapshot().ToJson());
+  }
+  if (path == "/events") {
+    return HttpResponse("200 OK", "application/x-ndjson",
+                        telemetry_->recorder().ToJsonl());
+  }
+  return HttpResponse("404 Not Found", "text/plain", "not found\n");
+}
+
+}  // namespace emjoin::obs

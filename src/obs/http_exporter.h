@@ -1,0 +1,84 @@
+#ifndef EMJOIN_OBS_HTTP_EXPORTER_H_
+#define EMJOIN_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "extmem/status.h"
+#include "obs/telemetry.h"
+#include "parallel/worker_pool.h"
+
+namespace emjoin::obs {
+
+/// Minimal dependency-free HTTP/1.0 exporter over POSIX sockets,
+/// serving live telemetry for one Telemetry instance:
+///
+///   GET /healthz   -> "ok" (200 as soon as the listener is up)
+///   GET /metrics   -> the last metrics text published with
+///                     PublishMetrics() (Prometheus exposition format)
+///   GET /progress  -> ProgressTracker snapshot as one JSON object
+///   GET /events    -> FlightRecorder dump as JSONL
+///
+/// The listener binds 127.0.0.1 only (this is an introspection port,
+/// not a service) and its accept loop runs as a single long-lived task
+/// on a private one-worker parallel::WorkerPool — the codebase's only
+/// sanctioned thread-spawn mechanism. Connections are handled one at a
+/// time with short poll() deadlines; scrapers (curl, Prometheus) only
+/// ever issue tiny requests, so there is no keep-alive and no pipelining.
+///
+/// The exporter reads the tracker/recorder through their thread-safe
+/// snapshot APIs and never touches a Device, keeping the observer-only
+/// invariant: serving /metrics mid-join changes zero charged I/Os.
+class HttpExporter {
+ public:
+  explicit HttpExporter(Telemetry* telemetry);
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
+  /// starts the serving loop. kIoError when the bind/listen fails.
+  extmem::Status Start(std::uint16_t port);
+
+  /// Stops the serving loop, joins the worker, closes the socket.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  [[nodiscard]] bool running() const {
+    return pool_ != nullptr;
+  }
+
+  /// The bound port (resolved when Start was given port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Atomically replaces the /metrics response body. Call after each
+  /// registry collection point (bench loop, merge barrier, run end).
+  void PublishMetrics(std::string text);
+
+  /// Requests served since Start (diagnostics).
+  [[nodiscard]] std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+  [[nodiscard]] std::string ResponseFor(const std::string& request_line);
+
+  Telemetry* telemetry_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::mutex metrics_mu_;
+  std::string metrics_text_;
+  std::unique_ptr<parallel::WorkerPool> pool_;
+};
+
+}  // namespace emjoin::obs
+
+#endif  // EMJOIN_OBS_HTTP_EXPORTER_H_

@@ -1,0 +1,138 @@
+#ifndef EMJOIN_OBS_PROGRESS_H_
+#define EMJOIN_OBS_PROGRESS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace emjoin::obs {
+
+/// One planned phase of a query: a span name the orchestrator will open
+/// (e.g. "load", "build", "join") and the cost model's predicted block
+/// I/O for it. Phases are matched positionally and by name against
+/// kPhaseBegin/kPhaseEnd events, so a plan may repeat names (one
+/// build/join pair per bench loop).
+struct PhasePlan {
+  const char* name = "";
+  long double expected_ios = 0.0L;
+};
+
+/// Live per-shard progress, included in ProgressSnapshot.
+struct ShardProgress {
+  std::uint32_t shard = 0;
+  std::uint64_t ios = 0;           // non-recovery block I/Os
+  std::uint64_t recovery_ios = 0;  // fault-overhead block I/Os
+  // 0 = idle (never started), 1 = running, 2 = finished ok, 3 = failed.
+  int state = 0;
+};
+
+/// A consistent read of the tracker, plus its /progress JSON encoding.
+struct ProgressSnapshot {
+  double percent = 0.0;  // monotone non-decreasing, in [0, 100]
+  bool complete = false;
+  std::uint64_t done_ios = 0;      // charged I/Os counted toward progress
+  std::uint64_t recovery_ios = 0;  // excluded fault-overhead I/Os
+  double predicted_ios = 0.0;      // sum of the plan's expectations
+  double eta_ios = 0.0;            // predicted remaining, on the I/O clock
+  std::string phase;               // current (or last) plan phase name
+  std::size_t phases_done = 0;
+  std::size_t phase_count = 0;
+  std::vector<ShardProgress> shards;  // active shards only
+
+  std::string ToJson() const;
+};
+
+/// Model-vs-measured progress estimation for one query.
+///
+/// The tracker combines a phase plan — names plus the paper's
+/// closed-form predicted I/O per phase, known at plan time from
+/// (n, M, B) — with the live block charges streaming off the Device
+/// event hook. Percent-done is phase-weighted: completed phases
+/// contribute their full weight (expected_i / total expected), the
+/// current phase contributes weight * min(1, measured/expected).
+///
+/// Guarantees, pinned by obs_test:
+///  - monotone non-decreasing (enforced via an atomic running max, so
+///    even a re-planned or mis-predicted run never reports a drop);
+///  - clamped to 100, and exactly 100 after MarkComplete();
+///  - `recovery`-tagged fault I/O (retries, backoff, torn-write
+///    repairs) is tallied separately and never advances progress, so a
+///    flaky device cannot inflate percent-done;
+///  - per-shard charges roll up into the whole-query figure: shard
+///    devices feed the same tracker through Telemetry's shard views,
+///    mirroring the Registry::MergeFrom / Tracer::Absorb merge pattern
+///    but live rather than at the barrier.
+///
+/// Thread safety: charge accounting is lock-free (relaxed atomics; the
+/// counters are independent and the HTTP reader tolerates slight skew);
+/// the rare phase transitions and Snapshot() share a mutex.
+class ProgressTracker {
+ public:
+  static constexpr std::uint32_t kMaxShards = 64;
+
+  /// Installs the phase plan. Call before the planned spans open;
+  /// calling mid-run is safe (the monotone max keeps percent from
+  /// dropping when the weights change).
+  void SetPlan(std::vector<PhasePlan> plan);
+
+  /// Account charged blocks (shard == ObsEvent::kNoShard for the
+  /// orchestrator device). Lock-free.
+  void OnBlocks(std::uint32_t shard, std::uint64_t reads,
+                std::uint64_t writes, bool recovery);
+
+  /// Phase transitions from the orchestrator's spans. Only top-level
+  /// spans whose name matches the next planned phase advance the plan;
+  /// anything else is ignored (operators open many inner spans).
+  void OnPhaseBegin(const char* name);
+  void OnPhaseEnd(const char* name);
+
+  void OnShardStart(std::uint32_t shard);
+  void OnShardFinish(std::uint32_t shard, bool ok);
+
+  /// Forces percent to exactly 100 (the success path's final word).
+  void MarkComplete();
+
+  [[nodiscard]] bool complete() const {
+    return complete_.load(std::memory_order_acquire);
+  }
+
+  /// Total observed block I/Os (progress-counted + recovery): the
+  /// virtual I/O clock the flight recorder timestamps events with.
+  [[nodiscard]] std::uint64_t Clock() const;
+
+  [[nodiscard]] ProgressSnapshot Snapshot() const;
+
+ private:
+  struct ShardSlot {
+    std::atomic<std::uint64_t> ios{0};
+    std::atomic<std::uint64_t> recovery{0};
+    std::atomic<int> state{0};
+  };
+
+  double UnlockedRawPercent(std::uint64_t done) const;
+
+  std::atomic<std::uint64_t> done_ios_{0};
+  std::atomic<std::uint64_t> recovery_ios_{0};
+  std::atomic<bool> complete_{false};
+  // Monotonicity guard: percent * 10^4, advanced with a CAS max.
+  mutable std::atomic<std::uint64_t> max_basis_points_{0};
+
+  mutable std::mutex mu_;  // guards the plan/phase state below
+  std::vector<PhasePlan> plan_;
+  long double predicted_total_ = 0.0L;
+  std::size_t phases_done_ = 0;
+  std::uint64_t phase_start_ios_ = 0;
+  // Depth of nested spans reusing the current phase's name, so an inner
+  // "join" span closing does not end the planned "join" phase.
+  std::uint32_t phase_nesting_ = 0;
+  bool phase_active_ = false;
+
+  std::array<ShardSlot, kMaxShards> shards_;
+};
+
+}  // namespace emjoin::obs
+
+#endif  // EMJOIN_OBS_PROGRESS_H_

@@ -1,0 +1,102 @@
+#ifndef EMJOIN_OBS_RUNTIME_H_
+#define EMJOIN_OBS_RUNTIME_H_
+
+// Process-wide telemetry wiring shared by emjoin_cli, the benches, and
+// emjoin_export. metrics/obs.h parses the flags; this header acts on
+// them: attach the global Telemetry to a Device, start/stop the HTTP
+// exporter, publish registry snapshots, and run the end-of-run epilogue
+// (mark complete, dump the flight recorder, linger for a last scrape).
+//
+// Header-only like metrics/obs.h so every tool shares one set of
+// globals without a dedicated runtime library.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "extmem/device.h"
+#include "extmem/status.h"
+#include "metrics/obs.h"
+#include "obs/http_exporter.h"
+#include "obs/telemetry.h"
+
+namespace emjoin::obs {
+
+inline Telemetry& GlobalTelemetry() {
+  static Telemetry telemetry;
+  return telemetry;
+}
+
+inline HttpExporter& GlobalExporter() {
+  static HttpExporter exporter(&GlobalTelemetry());
+  return exporter;
+}
+
+/// True when any telemetry consumer was requested on the command line.
+inline bool TelemetryConfigured() {
+  const metrics::ObsConfig& config = metrics::GlobalObsConfig();
+  return config.export_port >= 0 || !config.recorder_path.empty();
+}
+
+/// Attaches the global Telemetry as `dev`'s event sink when configured.
+/// Observer-only: charged I/O counts are unchanged (io_invariance).
+inline void AttachTelemetry(extmem::Device* dev) {
+  if (TelemetryConfigured()) {
+    dev->set_events(&GlobalTelemetry());
+  }
+}
+
+/// Snapshots the global registry into the exporter's /metrics body.
+inline void PublishGlobalMetrics() {
+  if (metrics::GlobalObsConfig().export_port >= 0) {
+    GlobalExporter().PublishMetrics(
+        metrics::GlobalMetricsRegistry().ToPrometheusText());
+  }
+}
+
+/// Starts the HTTP exporter iff --export-port was given. Prints the
+/// resolved port (useful with --export-port=0) on success.
+[[nodiscard]] inline extmem::Status StartConfiguredExporter() {
+  const metrics::ObsConfig& config = metrics::GlobalObsConfig();
+  if (config.export_port < 0) return extmem::Status::Ok();
+  extmem::Status status = GlobalExporter().Start(
+      static_cast<std::uint16_t>(config.export_port));
+  if (status.ok()) {
+    std::fprintf(stderr, "telemetry exporter on http://127.0.0.1:%u/\n",
+                 static_cast<unsigned>(GlobalExporter().port()));
+  }
+  return status;
+}
+
+/// End-of-run epilogue. On success pins /progress at exactly 100 and
+/// publishes a final /metrics snapshot; always dumps the flight
+/// recorder when --recorder was given (the failure dump is the whole
+/// point of a flight recorder); lingers --export-linger-ms so external
+/// scrapers can take a final reading; then stops the exporter. Returns
+/// `rc` unchanged unless a requested recorder dump failed.
+inline int FinishTelemetry(int rc) {
+  const metrics::ObsConfig& config = metrics::GlobalObsConfig();
+  if (!TelemetryConfigured()) return rc;
+  if (rc == 0) GlobalTelemetry().MarkComplete();
+  PublishGlobalMetrics();
+  if (!config.recorder_path.empty()) {
+    if (GlobalTelemetry().recorder().WriteJsonl(config.recorder_path)) {
+      std::fprintf(stderr, "flight recorder (%llu events) -> %s\n",
+                   static_cast<unsigned long long>(
+                       GlobalTelemetry().recorder().recorded()),
+                   config.recorder_path.c_str());
+    } else if (rc == 0) {
+      rc = 74;  // EX_IOERR: the requested artifact could not be written
+    }
+  }
+  if (GlobalExporter().running() && config.export_linger_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config.export_linger_ms));
+  }
+  GlobalExporter().Stop();
+  return rc;
+}
+
+}  // namespace emjoin::obs
+
+#endif  // EMJOIN_OBS_RUNTIME_H_

@@ -1,0 +1,62 @@
+#include "obs/telemetry.h"
+
+namespace emjoin::obs {
+
+Telemetry::Telemetry(std::size_t recorder_capacity)
+    : recorder_(recorder_capacity) {
+  for (std::uint32_t s = 0; s < kMaxShards; ++s) {
+    shard_sinks_[s].Bind(this, s);
+  }
+}
+
+void Telemetry::OnBlocks(std::uint64_t reads, std::uint64_t writes,
+                         bool recovery) {
+  HandleBlocks(extmem::ObsEvent::kNoShard, reads, writes, recovery);
+}
+
+void Telemetry::OnEvent(const extmem::ObsEvent& event) { HandleEvent(event); }
+
+extmem::IoEventSink* Telemetry::ShardView(std::uint32_t shard) {
+  if (shard >= kMaxShards) return this;
+  return &shard_sinks_[shard];
+}
+
+void Telemetry::MarkComplete() {
+  tracker_.MarkComplete();
+  recorder_.Record(
+      extmem::ObsEvent{extmem::ObsEventKind::kQueryComplete, "query"},
+      tracker_.Clock());
+}
+
+void Telemetry::HandleBlocks(std::uint32_t shard, std::uint64_t reads,
+                             std::uint64_t writes, bool recovery) {
+  tracker_.OnBlocks(shard, reads, writes, recovery);
+}
+
+void Telemetry::HandleEvent(const extmem::ObsEvent& event) {
+  recorder_.Record(event, tracker_.Clock());
+  switch (event.kind) {
+    case extmem::ObsEventKind::kPhaseBegin:
+      // Only the orchestrator's spans advance the phase plan; shard-local
+      // spans (stamped with a shard id) are log-only.
+      if (event.shard == extmem::ObsEvent::kNoShard) {
+        tracker_.OnPhaseBegin(event.name);
+      }
+      break;
+    case extmem::ObsEventKind::kPhaseEnd:
+      if (event.shard == extmem::ObsEvent::kNoShard) {
+        tracker_.OnPhaseEnd(event.name);
+      }
+      break;
+    case extmem::ObsEventKind::kShardStart:
+      tracker_.OnShardStart(event.shard);
+      break;
+    case extmem::ObsEventKind::kShardFinish:
+      tracker_.OnShardFinish(event.shard, event.a != 0);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace emjoin::obs

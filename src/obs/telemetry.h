@@ -1,0 +1,85 @@
+#ifndef EMJOIN_OBS_TELEMETRY_H_
+#define EMJOIN_OBS_TELEMETRY_H_
+
+#include <array>
+#include <cstdint>
+
+#include "extmem/event_hook.h"
+#include "obs/flight_recorder.h"
+#include "obs/progress.h"
+
+namespace emjoin::obs {
+
+/// The one observer a query attaches to its Device(s): routes the event
+/// stream into the ProgressTracker (live percent/ETA) and the
+/// FlightRecorder (post-mortem log), stamping per-shard identity on the
+/// way through.
+///
+/// Sharded wiring mirrors the PR 6 merge pattern but live: the
+/// orchestrator device gets the Telemetry itself; each shard substrate
+/// device gets ShardView(s), a thin wrapper that forwards every
+/// callback with `shard = s`. All shards therefore feed one tracker and
+/// one recorder concurrently — both are thread-safe by construction
+/// (atomics in the tracker's charge path, the recorder's lock-free
+/// ring), matching the hook's thread-safety contract in device.h.
+///
+/// Observer-only: Telemetry never touches a Device except through the
+/// read-only callbacks, so attaching it changes zero charged I/Os
+/// (pinned alongside tracer/metrics in io_invariance).
+class Telemetry final : public extmem::IoEventSink {
+ public:
+  static constexpr std::uint32_t kMaxShards = ProgressTracker::kMaxShards;
+
+  explicit Telemetry(std::size_t recorder_capacity = 4096);
+
+  void OnBlocks(std::uint64_t reads, std::uint64_t writes,
+                bool recovery) override;
+  void OnEvent(const extmem::ObsEvent& event) override;
+  extmem::IoEventSink* ShardView(std::uint32_t shard) override;
+
+  /// Success-path epilogue: pins progress at exactly 100 and records a
+  /// query_complete event.
+  void MarkComplete();
+
+  [[nodiscard]] ProgressTracker& tracker() { return tracker_; }
+  [[nodiscard]] const ProgressTracker& tracker() const { return tracker_; }
+  [[nodiscard]] FlightRecorder& recorder() { return recorder_; }
+  [[nodiscard]] const FlightRecorder& recorder() const { return recorder_; }
+
+ private:
+  /// Forwarder bound to one shard id; shares the owner's tracker and
+  /// recorder. Phase events from inside a shard are recorded but do not
+  /// advance the plan — the plan tracks the orchestrator's spans.
+  class ShardSink final : public extmem::IoEventSink {
+   public:
+    void Bind(Telemetry* owner, std::uint32_t shard) {
+      owner_ = owner;
+      shard_ = shard;
+    }
+    void OnBlocks(std::uint64_t reads, std::uint64_t writes,
+                  bool recovery) override {
+      owner_->HandleBlocks(shard_, reads, writes, recovery);
+    }
+    void OnEvent(const extmem::ObsEvent& event) override {
+      extmem::ObsEvent stamped = event;
+      stamped.shard = shard_;
+      owner_->HandleEvent(stamped);
+    }
+
+   private:
+    Telemetry* owner_ = nullptr;
+    std::uint32_t shard_ = 0;
+  };
+
+  void HandleBlocks(std::uint32_t shard, std::uint64_t reads,
+                    std::uint64_t writes, bool recovery);
+  void HandleEvent(const extmem::ObsEvent& event);
+
+  ProgressTracker tracker_;
+  FlightRecorder recorder_;
+  std::array<ShardSink, kMaxShards> shard_sinks_;
+};
+
+}  // namespace emjoin::obs
+
+#endif  // EMJOIN_OBS_TELEMETRY_H_

@@ -99,6 +99,14 @@ extmem::Result<ParallelJoinReport> TryParallelJoinAuto(
       injectors[s] = std::make_unique<extmem::FaultInjector>(config);
       dev->set_fault_injector(injectors[s].get());
     }
+    if (src->events() != nullptr) {
+      // Live telemetry: each shard device feeds the source's event sink
+      // through a per-shard view that stamps the shard id on every
+      // callback. Unlike tracers/registries this is not merged at the
+      // barrier — the sink (obs::Telemetry) aggregates concurrently and
+      // must therefore be thread-safe, per the device.h contract.
+      dev->set_events(src->events()->ShardView(s));
+    }
     raw_devices.push_back(dev);
   }
 
@@ -119,8 +127,16 @@ extmem::Result<ParallelJoinReport> TryParallelJoinAuto(
   {
     WorkerPool pool(report.workers);
     for (std::uint32_t s = 0; s < k; ++s) {
-      pool.Submit([s, &runs, &fragments] {
+      pool.Submit([s, &runs, &fragments, &raw_devices] {
         ShardRun& run = runs[s];
+        extmem::Device* dev = raw_devices[s];
+        const auto emit_lifecycle = [dev](extmem::ObsEventKind kind,
+                                          std::uint64_t outcome) {
+          if (extmem::IoEventSink* sink = dev->events()) {
+            sink->OnEvent(extmem::ObsEvent{kind, "shard", outcome});
+          }
+        };
+        emit_lifecycle(extmem::ObsEventKind::kShardStart, 0);
         const std::vector<storage::Relation>& shard_rels = fragments[s];
         const bool any_empty =
             std::any_of(shard_rels.begin(), shard_rels.end(),
@@ -130,6 +146,7 @@ extmem::Result<ParallelJoinReport> TryParallelJoinAuto(
           // the operator instead of paying its fixed I/O for zero rows.
           run.outcome = core::AutoJoinReport{
               "empty-shard", "an input fragment is empty on this shard"};
+          emit_lifecycle(extmem::ObsEventKind::kShardFinish, 1);
           return;
         }
         const core::EmitFn buffer_emit = [&run](std::span<const Value> row) {
@@ -139,6 +156,8 @@ extmem::Result<ParallelJoinReport> TryParallelJoinAuto(
         // TryJoinAuto converts every failure into a Status internally,
         // so no exception crosses the thread boundary.
         run.outcome = core::TryJoinAuto(shard_rels, buffer_emit);
+        emit_lifecycle(extmem::ObsEventKind::kShardFinish,
+                       run.outcome->ok() ? 1 : 0);
       });
     }
     pool.Wait();
@@ -188,6 +207,11 @@ extmem::Result<ParallelJoinReport> TryParallelJoinAuto(
     }
     if (tracers[s] != nullptr) {
       src->tracer()->Absorb(*tracers[s], InternShardName(s));
+    }
+    if (extmem::IoEventSink* sink = devices[s]->events()) {
+      sink->OnEvent(extmem::ObsEvent{extmem::ObsEventKind::kWatermark,
+                                     "peak_resident_tuples",
+                                     sr.peak_resident});
     }
     report.per_shard.push_back(std::move(sr));
   }

@@ -148,17 +148,30 @@ class Tracer {
 };
 
 /// RAII span scope. Opens a span on `dev`'s attached tracer, or does
-/// nothing (one branch) when no tracer is attached.
+/// nothing (one branch) when no tracer is attached. When an event sink
+/// is attached to the device (independently of the tracer), the span
+/// additionally emits kPhaseBegin/kPhaseEnd events — this is how every
+/// instrumented operator phase reaches the flight recorder and the
+/// progress tracker without further per-operator wiring.
 class Span {
  public:
-  Span(extmem::Device* dev, const char* name) : tracer_(dev->tracer()) {
+  Span(extmem::Device* dev, const char* name)
+      : tracer_(dev->tracer()), events_(dev->events()), name_(name) {
     if (tracer_ != nullptr) [[unlikely]] {
       id_ = tracer_->OpenSpan(dev, name);
+    }
+    if (events_ != nullptr) [[unlikely]] {
+      events_->OnEvent(
+          extmem::ObsEvent{extmem::ObsEventKind::kPhaseBegin, name_});
     }
   }
   ~Span() {
     if (tracer_ != nullptr) [[unlikely]] {
       tracer_->CloseSpan(id_);
+    }
+    if (events_ != nullptr) [[unlikely]] {
+      events_->OnEvent(
+          extmem::ObsEvent{extmem::ObsEventKind::kPhaseEnd, name_});
     }
   }
   Span(const Span&) = delete;
@@ -179,6 +192,8 @@ class Span {
 
  private:
   Tracer* tracer_;
+  extmem::IoEventSink* events_;
+  const char* name_;
   SpanId id_ = kNoSpan;
 };
 

@@ -22,6 +22,7 @@
 #include "extmem/sorter.h"
 #include "metrics/collect.h"
 #include "metrics/registry.h"
+#include "obs/telemetry.h"
 #include "query/hypergraph.h"
 #include "storage/relation.h"
 #include "trace/tracer.h"
@@ -334,6 +335,68 @@ TEST(IoInvariance, MetricsOnJoinPipelineChangesNoCharges) {
   ExpectTag(tags, "scan", 896, 192);
   ExpectTag(tags, "semijoin", 721, 320);
   ExpectTag(tags, "sort", 960, 960);
+}
+
+// Golden A with live telemetry attached: the event sink (progress
+// tracker + flight recorder) is the fourth Device observer, and like
+// tracer/metrics/idle-injector it must change zero charged I/Os. The
+// tracker must also agree with the device about how much work happened:
+// every charged block flows through OnBlocks exactly once.
+TEST(IoInvariance, TelemetryChangesNoCharges) {
+  extmem::Device dev(1024, 64);
+  obs::Telemetry telemetry;
+  dev.set_events(&telemetry);
+
+  const std::vector<storage::Tuple> rows = XorshiftRows(20000);
+  const storage::Relation rel =
+      storage::Relation::FromTuples(&dev, storage::Schema({0, 1}), rows);
+  const std::uint32_t key[] = {0};
+  const extmem::FilePtr sorted = extmem::ExternalSort(rel.range(), key);
+
+  ExpectSorted(sorted, rows, key);
+  EXPECT_EQ(dev.stats().block_reads, 939u);
+  EXPECT_EQ(dev.stats().block_writes, 1252u);
+  const auto tags = MergedTags(dev);
+  ExpectTag(tags, "scan", 0, 313);
+  ExpectTag(tags, "sort", 939, 939);
+
+  // The virtual I/O clock saw every charge: reads + writes, no recovery.
+  EXPECT_EQ(telemetry.tracker().Clock(), 939u + 1252u);
+  EXPECT_EQ(telemetry.tracker().Snapshot().recovery_ios, 0u);
+  // The sorter's spans landed in the flight recorder as phase events.
+  bool saw_sort_phase = false;
+  for (const obs::RecordedEvent& e : telemetry.recorder().Snapshot()) {
+    if (e.event.kind == extmem::ObsEventKind::kPhaseBegin &&
+        std::string(e.event.name) == "sort") {
+      saw_sort_phase = true;
+    }
+  }
+  EXPECT_TRUE(saw_sort_phase);
+}
+
+// Golden C with telemetry attached: the full operator pipeline charges
+// bit-identically with the event hook live, and the clock totals match.
+TEST(IoInvariance, TelemetryOnJoinPipelineChangesNoCharges) {
+  extmem::Device dev(256, 16);
+  obs::Telemetry telemetry;
+  dev.set_events(&telemetry);
+  const query::JoinQuery q = query::JoinQuery::Line(3);
+  workload::RandomOptions opt;
+  opt.seed = 7;
+  opt.domain_size = 32;
+  std::vector<storage::Relation> rels =
+      workload::RandomInstance(&dev, q, {3000, 2000, 3000}, opt);
+  core::CountingSink sink;
+  core::LineJoin3(rels[0], rels[1], rels[2], sink.AsEmitFn());
+
+  EXPECT_EQ(sink.count(), 1048576u);
+  EXPECT_EQ(dev.stats().block_reads, 2577u);
+  EXPECT_EQ(dev.stats().block_writes, 1472u);
+  const auto tags = MergedTags(dev);
+  ExpectTag(tags, "scan", 896, 192);
+  ExpectTag(tags, "semijoin", 721, 320);
+  ExpectTag(tags, "sort", 960, 960);
+  EXPECT_EQ(telemetry.tracker().Clock(), 2577u + 1472u);
 }
 
 TEST(MergePasses, InMemoryInputNeedsNoMergePass) {

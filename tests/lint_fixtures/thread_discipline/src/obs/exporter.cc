@@ -1,0 +1,13 @@
+// Under src/obs/ the rule is also silent: the telemetry layer's sinks
+// are concurrent observers (lock-free tracker/recorder, HTTP serve
+// loop), not shard work, so raw spawns here do not bypass the
+// WorkerPool confinement model. Expected findings in this file: none.
+#include <thread>
+
+namespace emjoin::obs {
+
+void ServeHere() {
+  std::jthread t([] {});
+}
+
+}  // namespace emjoin::obs

@@ -112,8 +112,9 @@ TEST(LintTest, SubstrateHygieneFlagsRawIoInCore) {
 TEST(LintTest, ThreadDisciplineFlagsRawSpawnsOutsideParallel) {
   const LintRun r = RunLint(Fixture("thread_discipline"));
   EXPECT_EQ(r.exit_code, 1);
-  // Four findings in src/core/spawner.cc; the identical spawn in
-  // src/parallel/pool.cc is exempt and must not appear.
+  // Four findings in src/core/spawner.cc; the identical spawns in
+  // src/parallel/pool.cc and src/obs/exporter.cc are exempt (both
+  // directories are allowlisted) and must not appear.
   ASSERT_EQ(r.lines.size(), 4u) << r.out;
   const int expected_lines[] = {9, 12, 15, 17};
   const char* expected_tokens[] = {"std::thread", "std::jthread",
@@ -128,6 +129,7 @@ TEST(LintTest, ThreadDisciplineFlagsRawSpawnsOutsideParallel) {
         << r.lines[i];
   }
   EXPECT_EQ(r.out.find("src/parallel/"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("src/obs/"), std::string::npos) << r.out;
 }
 
 TEST(LintTest, SuppressionCommentsSilenceEveryRule) {

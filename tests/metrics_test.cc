@@ -123,9 +123,13 @@ TEST(Registry, JsonExposition) {
   EXPECT_NE(json.find("\"sum\": 3"), std::string::npos) << json;
 }
 
+// Deliberate golden update with the exposition-format completion work:
+// every family now carries a # HELP line (SetHelp text, or a generic
+// placeholder) ahead of its # TYPE, as the format expects.
 TEST(Registry, PrometheusGolden) {
   Registry reg;
   reg.GetCounter("emjoin_io_total", {{"op", "read"}})->Add(5);
+  reg.SetHelp("emjoin_io_total", "Block transfers, by op");
   reg.GetGauge("emjoin_peak")->Set(42);
   Histogram* h = reg.GetHistogram("emjoin_sizes");
   h->Record(3);
@@ -133,10 +137,13 @@ TEST(Registry, PrometheusGolden) {
   h->Record(9);
 
   const std::string expected =
+      "# HELP emjoin_io_total Block transfers, by op\n"
       "# TYPE emjoin_io_total counter\n"
       "emjoin_io_total{op=\"read\"} 5\n"
+      "# HELP emjoin_peak emjoin collected metric\n"
       "# TYPE emjoin_peak gauge\n"
       "emjoin_peak 42\n"
+      "# HELP emjoin_sizes emjoin collected metric\n"
       "# TYPE emjoin_sizes histogram\n"
       "emjoin_sizes_bucket{le=\"4\"} 2\n"
       "emjoin_sizes_bucket{le=\"16\"} 3\n"
@@ -144,6 +151,122 @@ TEST(Registry, PrometheusGolden) {
       "emjoin_sizes_sum 16\n"
       "emjoin_sizes_count 3\n";
   EXPECT_EQ(reg.ToPrometheusText(), expected);
+}
+
+TEST(Registry, LabelValuesEscapePerExpositionFormat) {
+  Registry reg;
+  reg.GetCounter("emjoin_paths_total",
+                 {{"path", "a\\b\"c\nd"}})->Add(1);
+  const std::string text = reg.ToPrometheusText();
+  // Backslash, quote, and newline all escape; the sample stays one line.
+  EXPECT_NE(text.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos)
+      << text;
+  std::string error;
+  EXPECT_TRUE(CheckPrometheusText(text, &error)) << error;
+}
+
+TEST(Registry, HelpTextEscapesBackslashAndNewline) {
+  Registry reg;
+  reg.GetCounter("emjoin_c")->Add(1);
+  reg.SetHelp("emjoin_c", "line one\nline \\ two");
+  const std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("# HELP emjoin_c line one\\nline \\\\ two\n"),
+            std::string::npos)
+      << text;
+  std::string error;
+  EXPECT_TRUE(CheckPrometheusText(text, &error)) << error;
+}
+
+TEST(Registry, MergeFromPropagatesHelpText) {
+  Registry shard;
+  shard.GetCounter("emjoin_c")->Add(2);
+  shard.SetHelp("emjoin_c", "from the shard");
+  Registry merged;
+  merged.MergeFrom(shard, {{"shard", "0"}});
+  EXPECT_NE(merged.ToPrometheusText().find("# HELP emjoin_c from the shard"),
+            std::string::npos);
+}
+
+// The conformance gate itself: everything the registry can export must
+// pass its own checker, across all three metric kinds, labels, escapes,
+// and shard-merged series.
+TEST(Conformance, EveryRegistryExportPasses) {
+  Registry shard0, shard1;
+  shard0.GetCounter("emjoin_io_total", {{"op", "read"}, {"tag", "sort"}})
+      ->Add(7);
+  shard0.GetGauge("emjoin_peak")->Set(10);
+  shard0.GetHistogram("emjoin_sizes")->Record(5);
+  shard1.GetCounter("emjoin_io_total", {{"op", "write"}})->Add(3);
+  shard1.GetHistogram("emjoin_sizes")->Record(100);
+  Registry merged;
+  merged.SetHelp("emjoin_io_total", "Block transfers");
+  merged.MergeFrom(shard0, {{"shard", "0"}});
+  merged.MergeFrom(shard1, {{"shard", "1"}});
+  std::string error;
+  EXPECT_TRUE(CheckPrometheusText(merged.ToPrometheusText(), &error))
+      << error;
+  // The empty export is trivially conformant too.
+  EXPECT_TRUE(CheckPrometheusText("", &error)) << error;
+}
+
+TEST(Conformance, RejectsMalformedExpositionText) {
+  const auto rejects = [](const std::string& text) {
+    std::string error;
+    const bool ok = CheckPrometheusText(text, &error);
+    EXPECT_FALSE(ok) << "accepted:\n" << text;
+    if (!ok) {
+      EXPECT_FALSE(error.empty());
+    }
+    return !ok;
+  };
+  // A sample whose family was never TYPEd.
+  EXPECT_TRUE(rejects("emjoin_c 1\n"));
+  // Duplicate TYPE for one family.
+  EXPECT_TRUE(rejects("# TYPE emjoin_c counter\n# TYPE emjoin_c counter\n"
+                      "emjoin_c 1\n"));
+  // TYPE after the family's first sample.
+  EXPECT_TRUE(rejects("# TYPE emjoin_c counter\nemjoin_c 1\n"
+                      "# HELP emjoin_c late\n"));
+  // Bad metric name, bad label name, unterminated label quoting.
+  EXPECT_TRUE(rejects("# TYPE 9bad counter\n9bad 1\n"));
+  EXPECT_TRUE(rejects("# TYPE emjoin_c counter\nemjoin_c{9l=\"x\"} 1\n"));
+  EXPECT_TRUE(rejects("# TYPE emjoin_c counter\nemjoin_c{l=\"x} 1\n"));
+  // Invalid escape inside a label value.
+  EXPECT_TRUE(rejects("# TYPE emjoin_c counter\nemjoin_c{l=\"a\\qb\"} 1\n"));
+  // Unparseable sample value.
+  EXPECT_TRUE(rejects("# TYPE emjoin_c counter\nemjoin_c one\n"));
+  // Histogram without the mandatory +Inf bucket.
+  EXPECT_TRUE(rejects("# TYPE emjoin_h histogram\n"
+                      "emjoin_h_bucket{le=\"4\"} 1\n"
+                      "emjoin_h_sum 3\nemjoin_h_count 1\n"));
+  // Histogram with non-cumulative buckets.
+  EXPECT_TRUE(rejects("# TYPE emjoin_h histogram\n"
+                      "emjoin_h_bucket{le=\"4\"} 5\n"
+                      "emjoin_h_bucket{le=\"+Inf\"} 3\n"
+                      "emjoin_h_sum 3\nemjoin_h_count 3\n"));
+  // +Inf bucket disagreeing with _count.
+  EXPECT_TRUE(rejects("# TYPE emjoin_h histogram\n"
+                      "emjoin_h_bucket{le=\"+Inf\"} 3\n"
+                      "emjoin_h_sum 3\nemjoin_h_count 4\n"));
+  // _bucket sample missing its le label.
+  EXPECT_TRUE(rejects("# TYPE emjoin_h histogram\n"
+                      "emjoin_h_bucket 3\n"
+                      "emjoin_h_sum 3\nemjoin_h_count 3\n"));
+}
+
+TEST(Conformance, AcceptsForeignButValidText) {
+  // Not something our registry would emit (timestamps, +Inf values,
+  // exotic spacing are all legal exposition text) — the checker follows
+  // the format, not our exporter's subset.
+  const std::string text =
+      "# HELP http_requests_total The total number of HTTP requests.\n"
+      "# TYPE http_requests_total counter\n"
+      "http_requests_total{method=\"post\",code=\"200\"} 1027 1395066363000\n"
+      "\n"
+      "# TYPE something_weird gauge\n"
+      "something_weird{problem=\"division by zero\"} +Inf -3982045\n";
+  std::string error;
+  EXPECT_TRUE(CheckPrometheusText(text, &error)) << error;
 }
 
 TEST(Registry, EmptyRegistryExportsEmptySections) {

@@ -4,6 +4,8 @@
 //              [--shards=K] [--workers=W]
 //              [--stats] [--trace[=PATH]] [--trace-format=tree|jsonl|chrome]
 //              [--metrics=PATH] [--metrics-format=json|prom] [--audit=PATH]
+//              [--export-port=PORT] [--export-linger-ms=MS]
+//              [--recorder=PATH]
 //              [--fault-seed=N] [--fault-read=P] [--fault-write=P]
 //              [--fault-torn=P] [--fault-capacity=BLOCKS]
 //              [--fault-shrink-at=IOS[,IOS...]] [--fault-shrink-every-poll]
@@ -21,7 +23,11 @@
 //       join in the bench_diff-gateable shape. The
 //       --fault-* flags attach a seeded fault injector to the device
 //       (see docs/ROBUSTNESS.md); a run that cannot recover exits with
-//       the code for its typed error.
+//       the code for its typed error. --export-port serves live
+//       /metrics, /healthz, /progress, and /events over HTTP for the
+//       duration of the run (plus --export-linger-ms for one final
+//       scrape); --recorder dumps the flight-recorder event log as
+//       JSONL on exit, success or failure (see docs/OBSERVABILITY.md).
 //
 //   emjoin_cli plan [--memory M] [--block B] "attr1,attr2:SIZE" ...
 //       No data: prints the query classification, GenS families and the
@@ -55,6 +61,7 @@
 #include "gens/psi.h"
 #include "metrics/collect.h"
 #include "metrics/obs.h"
+#include "obs/runtime.h"
 #include "parallel/parallel_join.h"
 #include "query/classify.h"
 #include "storage/csv.h"
@@ -262,6 +269,7 @@ int CmdJoin(const CommonFlags& flags) {
   trace::Tracer tracer;
   if (flags.trace) dev.set_tracer(&tracer);
   metrics::AttachMetrics(&dev);
+  obs::AttachTelemetry(&dev);
   extmem::FaultInjector injector(flags.fault_config);
   if (flags.faults) dev.set_fault_injector(&injector);
 
@@ -287,6 +295,27 @@ int CmdJoin(const CommonFlags& flags) {
   }
   if (rels.empty()) return FailUsage("no relations given");
 
+  if (obs::TelemetryConfigured()) {
+    // Phase plan for /progress: the Theorem 3 worst-case bound is a
+    // closed form over (sizes, M, B) — unlike PredictBoundExact it runs
+    // no counting oracles, so planning telemetry charges zero I/Os.
+    query::JoinQuery q;
+    for (const auto& r : rels) q.AddRelation(r.schema(), r.size());
+    if (q.IsBergeAcyclic()) {
+      long double expected =
+          gens::PredictBoundWorstCase(q, dev.M(), dev.B()).bound;
+      if (flags.shards > 1) {
+        // Sharded runs pay one extra write+read pass to redistribute.
+        std::uint64_t input_blocks = 0;
+        for (const auto& r : rels) {
+          input_blocks += (r.size() + dev.B() - 1) / dev.B();
+        }
+        expected += 2.0L * static_cast<long double>(input_blocks);
+      }
+      obs::GlobalTelemetry().tracker().SetPlan({{"join", expected}});
+    }
+  }
+
   const core::ResultSchema schema = core::MakeResultSchema(rels);
   std::printf("result schema:");
   for (storage::AttrId a : schema.attrs) {
@@ -306,49 +335,55 @@ int CmdJoin(const CommonFlags& flags) {
   };
 
   const extmem::IoStats join_before = dev.stats();
-  if (flags.algo == "yann") {
-    if (flags.shards > 1) {
-      return FailUsage("--shards requires --algo auto");
-    }
-    const auto report = core::TryYannakakisJoin(rels, emit);
-    if (!report.ok()) return Fail(report.status());
-    std::printf("algorithm: Yannakakis (baseline)\n");
-  } else if (flags.shards > 1) {
-    parallel::ParallelOptions poptions;
-    poptions.shards = flags.shards;
-    poptions.workers = flags.workers;
-    poptions.faults = flags.faults;
-    poptions.fault_config = flags.fault_config;
-    metrics::Registry* merged = metrics::GlobalObsConfig().metrics_enabled
-                                    ? &metrics::GlobalMetricsRegistry()
-                                    : nullptr;
-    const auto report =
-        parallel::TryParallelJoinAuto(rels, emit, poptions, merged);
-    if (!report.ok()) return Fail(report.status());
-    std::printf("algorithm: %s (%s)\n", report->auto_report.algorithm.c_str(),
-                report->auto_report.reason.c_str());
-    std::printf("shards:    %u x %s, %u workers; critical path %llu I/Os, "
-                "total %llu\n",
-                report->shards, names[report->partition_attr].c_str(),
-                report->workers,
-                (unsigned long long)report->max_shard_ios,
-                (unsigned long long)report->sum_shard_ios);
-    if (flags.stats) {
-      for (std::size_t s = 0; s < report->per_shard.size(); ++s) {
-        const parallel::ShardReport& sr = report->per_shard[s];
-        std::printf("shard %zu:   %s, results=%llu, peak mem %llu tuples "
-                    "(%s)\n",
-                    s, sr.io.ToString().c_str(),
-                    (unsigned long long)sr.results,
-                    (unsigned long long)sr.peak_resident,
-                    sr.report.algorithm.c_str());
+  {
+    // Scoped so the planned "join" phase closes before the audit path's
+    // counting-oracle I/O (which runs outside the measured window).
+    trace::Span join_span(&dev, "join");
+    if (flags.algo == "yann") {
+      if (flags.shards > 1) {
+        return FailUsage("--shards requires --algo auto");
       }
+      const auto report = core::TryYannakakisJoin(rels, emit);
+      if (!report.ok()) return Fail(report.status());
+      std::printf("algorithm: Yannakakis (baseline)\n");
+    } else if (flags.shards > 1) {
+      parallel::ParallelOptions poptions;
+      poptions.shards = flags.shards;
+      poptions.workers = flags.workers;
+      poptions.faults = flags.faults;
+      poptions.fault_config = flags.fault_config;
+      metrics::Registry* merged = metrics::MetricsCollectionEnabled()
+                                      ? &metrics::GlobalMetricsRegistry()
+                                      : nullptr;
+      const auto report =
+          parallel::TryParallelJoinAuto(rels, emit, poptions, merged);
+      if (!report.ok()) return Fail(report.status());
+      std::printf("algorithm: %s (%s)\n",
+                  report->auto_report.algorithm.c_str(),
+                  report->auto_report.reason.c_str());
+      std::printf("shards:    %u x %s, %u workers; critical path %llu I/Os, "
+                  "total %llu\n",
+                  report->shards, names[report->partition_attr].c_str(),
+                  report->workers,
+                  (unsigned long long)report->max_shard_ios,
+                  (unsigned long long)report->sum_shard_ios);
+      if (flags.stats) {
+        for (std::size_t s = 0; s < report->per_shard.size(); ++s) {
+          const parallel::ShardReport& sr = report->per_shard[s];
+          std::printf("shard %zu:   %s, results=%llu, peak mem %llu tuples "
+                      "(%s)\n",
+                      s, sr.io.ToString().c_str(),
+                      (unsigned long long)sr.results,
+                      (unsigned long long)sr.peak_resident,
+                      sr.report.algorithm.c_str());
+        }
+      }
+    } else {
+      const auto report = core::TryJoinAuto(rels, emit);
+      if (!report.ok()) return Fail(report.status());
+      std::printf("algorithm: %s (%s)\n", report->algorithm.c_str(),
+                  report->reason.c_str());
     }
-  } else {
-    const auto report = core::TryJoinAuto(rels, emit);
-    if (!report.ok()) return Fail(report.status());
-    std::printf("algorithm: %s (%s)\n", report->algorithm.c_str(),
-                report->reason.c_str());
   }
   std::printf("results:   %llu\n", (unsigned long long)count);
   std::printf("I/O:       %s\n", dev.stats().ToString().c_str());
@@ -362,10 +397,12 @@ int CmdJoin(const CommonFlags& flags) {
                 (unsigned long long)dev.M());
   }
   const std::uint64_t join_ios = (dev.stats() - join_before).total();
-  if (metrics::GlobalObsConfig().metrics_enabled) {
+  if (metrics::MetricsCollectionEnabled()) {
     metrics::Registry* reg = &metrics::GlobalMetricsRegistry();
     metrics::CollectDeviceDelta(dev, extmem::IoStats{}, {}, reg);
     metrics::CollectFaultStats(dev, reg);
+    // WriteMetricsFile is a no-op unless --metrics was given; the
+    // exporter's /metrics body is refreshed by FinishTelemetry.
     if (!metrics::WriteMetricsFile()) {
       return Fail(extmem::Status(extmem::StatusCode::kInternal,
                                  "failed to write metrics"));
@@ -489,6 +526,7 @@ int Usage() {
   return FailUsage(
       "emjoin_cli join [--memory M] [--block B] [--print] "
       "[--algo auto|yann] [--shards=K] [--workers=W] "
+      "[--export-port=PORT] [--recorder=PATH] "
       "[--fault-seed=N ...] attrs=file.csv ... | "
       "emjoin_cli plan [--memory M] [--block B] attrs:SIZE ... | "
       "emjoin_cli demo");
@@ -503,7 +541,15 @@ int main(int argc, char** argv) {
   if (const int code = ParseFlags(argc, argv, 2, &flags); code != 0) {
     return code;
   }
-  if (cmd == "join") return CmdJoin(flags);
+  if (cmd == "join") {
+    if (const extmem::Status status = obs::StartConfiguredExporter();
+        !status.ok()) {
+      return Fail(status);
+    }
+    // FinishTelemetry runs on every exit path so a failed run still
+    // dumps its flight recorder and serves one last /progress.
+    return obs::FinishTelemetry(CmdJoin(flags));
+  }
   if (cmd == "plan") return CmdPlan(flags);
   if (cmd == "demo") return CmdDemo();
   return Usage();

@@ -1,0 +1,302 @@
+// emjoin_export: live-telemetry demo driver + Prometheus conformance
+// checker.
+//
+//   emjoin_export --check-prom=FILE
+//       Validates FILE against the Prometheus text exposition format
+//       (metrics::CheckPrometheusText). Exit 0 when it conforms, 1 with
+//       a line-numbered diagnostic on stderr when it does not, 66 when
+//       FILE cannot be read. The CI telemetry smoke job feeds scraped
+//       /metrics bodies through this mode.
+//
+//   emjoin_export [--workload=line3|star] [--n=N] [--petals=K]
+//                 [--memory=M] [--block=B] [--loops=L]
+//                 [--shards=K] [--workers=W]
+//                 [--fault-seed=N] [--fault-read=P] [--fault-write=P]
+//                 [--fault-torn=P] [--fault-retries=K]
+//                 [--export-port=PORT] [--export-linger-ms=MS]
+//                 [--recorder=PATH] [--metrics=PATH] ...
+//       Runs L loops of (build worst-case instance, join it) with live
+//       telemetry attached, serving /metrics, /healthz, /progress, and
+//       /events while it works. The phase plan covers every loop, so
+//       /progress climbs monotonically across the whole run and ends at
+//       exactly 100 — this is the binary the CI smoke job polls.
+//
+// Exit codes follow the emjoin_cli contract (0 ok, 64 usage, 66 no
+// input, 69/70/73/74/75 per typed Status).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "extmem/device.h"
+#include "extmem/fault_injector.h"
+#include "extmem/status.h"
+#include "gens/psi.h"
+#include "metrics/collect.h"
+#include "metrics/obs.h"
+#include "obs/runtime.h"
+#include "parallel/parallel_join.h"
+#include "query/hypergraph.h"
+#include "trace/tracer.h"
+#include "workload/constructions.h"
+
+namespace {
+
+using namespace emjoin;
+
+constexpr int kExitUsage = 64;
+
+int ExitCodeFor(const extmem::Status& status) {
+  switch (status.code()) {
+    case extmem::StatusCode::kOk: return 0;
+    case extmem::StatusCode::kInvalidInput: return 65;
+    case extmem::StatusCode::kNotFound: return 66;
+    case extmem::StatusCode::kDeviceFull: return 69;
+    case extmem::StatusCode::kInternal: return 70;
+    case extmem::StatusCode::kDataLoss: return 73;
+    case extmem::StatusCode::kIoError: return 74;
+    case extmem::StatusCode::kBudgetExceeded: return 75;
+  }
+  return 70;
+}
+
+int Fail(const extmem::Status& status) {
+  std::fprintf(stderr, "emjoin_export: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
+}
+
+int CheckPromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "emjoin_export: cannot read %s\n", path.c_str());
+    return 66;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::string error;
+  if (!metrics::CheckPrometheusText(text, &error)) {
+    std::fprintf(stderr, "emjoin_export: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("%s: conformant Prometheus exposition (%zu bytes)\n",
+              path.c_str(), text.size());
+  return 0;
+}
+
+struct Options {
+  std::string workload = "line3";  // line3 | star
+  TupleCount n = 4096;
+  std::uint32_t petals = 3;
+  TupleCount memory = 1 << 12;
+  TupleCount block = 1 << 6;
+  int loops = 1;
+  std::uint32_t shards = 1;
+  std::uint32_t workers = 1;
+  bool faults = false;
+  extmem::FaultConfig fault_config;
+};
+
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && !text.empty();
+}
+
+std::uint64_t BlocksFor(TupleCount tuples, TupleCount block) {
+  return (tuples + block - 1) / block;
+}
+
+int RunWorkload(const Options& opt) {
+  // Analytic phase plan, known before any I/O happens: per loop, the
+  // build phase writes the input once, and the join phase is bounded by
+  // the Theorem 3 worst case (closed form over sizes/M/B only — the
+  // instance-exact PredictBoundExact runs counting oracles that charge
+  // I/O, which planning must never do).
+  std::vector<TupleCount> sizes;
+  query::JoinQuery q;
+  if (opt.workload == "line3") {
+    sizes = {opt.n, 1, opt.n};
+    q = query::JoinQuery::Line(3, sizes);
+  } else if (opt.workload == "star") {
+    sizes.push_back(1);  // core
+    for (std::uint32_t p = 0; p < opt.petals; ++p) sizes.push_back(opt.n);
+    q = query::JoinQuery::Star(opt.petals, sizes);
+  } else {
+    std::fprintf(stderr, "emjoin_export: unknown workload '%s'\n",
+                 opt.workload.c_str());
+    return kExitUsage;
+  }
+  std::uint64_t input_blocks = 0;
+  for (const TupleCount s : sizes) input_blocks += BlocksFor(s, opt.block);
+  long double join_expected =
+      gens::PredictBoundWorstCase(q, opt.memory, opt.block).bound;
+  if (opt.shards > 1) {
+    join_expected += 2.0L * static_cast<long double>(input_blocks);
+  }
+  std::vector<obs::PhasePlan> plan;
+  for (int l = 0; l < opt.loops; ++l) {
+    plan.push_back({"build", static_cast<long double>(input_blocks)});
+    plan.push_back({"join", join_expected});
+  }
+  obs::GlobalTelemetry().tracker().SetPlan(std::move(plan));
+
+  metrics::GlobalMetricsRegistry().SetHelp(
+      "emjoin_device_io_blocks_total",
+      "Block transfers charged to the simulated device, by op and tag");
+  metrics::GlobalMetricsRegistry().SetHelp(
+      "emjoin_peak_resident_tuples",
+      "High-water mark of tuples resident in simulated memory");
+
+  for (int l = 0; l < opt.loops; ++l) {
+    extmem::Device dev(opt.memory, opt.block);
+    metrics::AttachMetrics(&dev);
+    obs::AttachTelemetry(&dev);
+    extmem::FaultInjector injector(opt.fault_config);
+    if (opt.faults) dev.set_fault_injector(&injector);
+
+    std::vector<storage::Relation> rels;
+    {
+      trace::Span build_span(&dev, "build");
+      auto built = extmem::CatchStatus([&] {
+        return opt.workload == "line3"
+                   ? workload::L3WorstCase(&dev, opt.n, 1, opt.n)
+                   : workload::StarWorstCase(
+                         &dev, std::vector<TupleCount>(sizes.begin() + 1,
+                                                       sizes.end()));
+      });
+      if (!built.ok()) return Fail(built.status());
+      rels = *std::move(built);
+    }
+
+    std::uint64_t results = 0;
+    {
+      trace::Span join_span(&dev, "join");
+      parallel::ParallelOptions poptions;
+      poptions.shards = opt.shards;
+      poptions.workers = opt.workers;
+      poptions.faults = opt.faults;
+      poptions.fault_config = opt.fault_config;
+      metrics::Registry* merged = metrics::MetricsCollectionEnabled()
+                                      ? &metrics::GlobalMetricsRegistry()
+                                      : nullptr;
+      const auto report = parallel::TryParallelJoinAuto(
+          rels, [&results](std::span<const Value>) { ++results; }, poptions,
+          merged);
+      if (!report.ok()) return Fail(report.status());
+    }
+
+    if (metrics::MetricsCollectionEnabled()) {
+      metrics::Registry* reg = &metrics::GlobalMetricsRegistry();
+      metrics::CollectDeviceDelta(dev, extmem::IoStats{}, {}, reg);
+      metrics::CollectFaultStats(dev, reg);
+      obs::PublishGlobalMetrics();
+    }
+    std::printf("loop %d/%d: %s n=%llu -> %llu results, %s\n", l + 1,
+                opt.loops, opt.workload.c_str(),
+                (unsigned long long)opt.n, (unsigned long long)results,
+                dev.stats().ToString().c_str());
+  }
+  if (!metrics::WriteMetricsFile()) {
+    return Fail(extmem::Status(extmem::StatusCode::kInternal,
+                               "failed to write metrics"));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--check-prom=", 0) == 0) {
+      return CheckPromFile(value("--check-prom="));
+    }
+    if (arg.rfind("--workload=", 0) == 0) {
+      opt.workload = value("--workload=");
+    } else if (arg.rfind("--n=", 0) == 0) {
+      opt.n = std::strtoull(value("--n=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--petals=", 0) == 0) {
+      opt.petals = static_cast<std::uint32_t>(
+          std::strtoul(value("--petals=").c_str(), nullptr, 10));
+    } else if (arg.rfind("--memory=", 0) == 0) {
+      opt.memory = std::strtoull(value("--memory=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--block=", 0) == 0) {
+      opt.block = std::strtoull(value("--block=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--loops=", 0) == 0) {
+      opt.loops = std::atoi(value("--loops=").c_str());
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      opt.shards = static_cast<std::uint32_t>(
+          std::strtoul(value("--shards=").c_str(), nullptr, 10));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      opt.workers = static_cast<std::uint32_t>(
+          std::strtoul(value("--workers=").c_str(), nullptr, 10));
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      opt.faults = true;
+      opt.fault_config.seed =
+          std::strtoull(value("--fault-seed=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--fault-read=", 0) == 0) {
+      opt.faults = true;
+      if (!ParseDouble(value("--fault-read="), &opt.fault_config.read_fail)) {
+        std::fprintf(stderr, "emjoin_export: bad probability in %s\n",
+                     arg.c_str());
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--fault-write=", 0) == 0) {
+      opt.faults = true;
+      if (!ParseDouble(value("--fault-write="),
+                       &opt.fault_config.write_fail)) {
+        std::fprintf(stderr, "emjoin_export: bad probability in %s\n",
+                     arg.c_str());
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--fault-torn=", 0) == 0) {
+      opt.faults = true;
+      if (!ParseDouble(value("--fault-torn="),
+                       &opt.fault_config.torn_write)) {
+        std::fprintf(stderr, "emjoin_export: bad probability in %s\n",
+                     arg.c_str());
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--fault-retries=", 0) == 0) {
+      opt.faults = true;
+      opt.fault_config.retry.max_retries = static_cast<std::uint32_t>(
+          std::strtoul(value("--fault-retries=").c_str(), nullptr, 10));
+    } else if (const int obs_flag = metrics::ParseObsFlag(arg);
+               obs_flag != 0) {
+      if (obs_flag < 0) return kExitUsage;
+    } else {
+      std::fprintf(stderr,
+                   "emjoin_export: unknown flag %s\n"
+                   "usage: emjoin_export --check-prom=FILE | emjoin_export "
+                   "[--workload=line3|star] [--n=N] [--petals=K] "
+                   "[--memory=M] [--block=B] [--loops=L] [--shards=K] "
+                   "[--workers=W] [--fault-*] [--export-port=PORT] "
+                   "[--export-linger-ms=MS] [--recorder=PATH] "
+                   "[--metrics=PATH]\n",
+                   arg.c_str());
+      return kExitUsage;
+    }
+  }
+  if (opt.loops < 1 || opt.block < 1 || opt.block > opt.memory ||
+      opt.n == 0 || opt.petals == 0) {
+    std::fprintf(stderr,
+                 "emjoin_export: require loops >= 1, n >= 1, petals >= 1, "
+                 "1 <= block <= memory\n");
+    return kExitUsage;
+  }
+  if (const extmem::Status status = obs::StartConfiguredExporter();
+      !status.ok()) {
+    return Fail(status);
+  }
+  return obs::FinishTelemetry(RunWorkload(opt));
+}

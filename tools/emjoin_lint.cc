@@ -102,7 +102,8 @@ constexpr RuleInfo kRules[] = {
      "extmem::Device)"},
     {"thread-discipline",
      "raw thread spawns (std::thread/std::jthread/std::async/"
-     "pthread_create) only in src/parallel; use parallel::WorkerPool"},
+     "pthread_create) only in src/parallel or src/obs; use "
+     "parallel::WorkerPool"},
 };
 
 bool KnownRule(std::string_view name) {
@@ -538,11 +539,15 @@ void CheckSubstrateHygiene(const FileModel& m, std::vector<Finding>* out) {
 // Rule: thread-discipline. Raw thread-spawn primitives outside
 // src/parallel/ bypass the WorkerPool, and with it the one threading
 // model the merge layer is correct under (shard-confined state, joined
-// before the per-shard reports are read). The match is lexical on the
+// before the per-shard reports are read). src/obs/ is also allowlisted:
+// its telemetry sinks are thread-safe by design (lock-free tracker and
+// flight-recorder atomics) and the HTTP exporter's serve loop is a
+// long-lived concurrent observer, not shard work — the opposite of the
+// confinement the rule protects elsewhere. The match is lexical on the
 // qualified spelling, so `threads_` members and `#include <thread>`
 // lines do not fire.
 void CheckThreadDiscipline(const FileModel& m, std::vector<Finding>* out) {
-  if (Under(m.path, "src/parallel/")) return;
+  if (Under(m.path, "src/parallel/") || Under(m.path, "src/obs/")) return;
   static constexpr std::string_view kSpawns[] = {
       "std::thread", "std::jthread", "std::async", "pthread_create"};
   for (std::size_t i = 0; i < m.code.size(); ++i) {
@@ -551,9 +556,9 @@ void CheckThreadDiscipline(const FileModel& m, std::vector<Finding>* out) {
       if (FindToken(line, name) == std::string_view::npos) continue;
       AddFinding(out, m, i, "thread-discipline",
                  std::string(name) +
-                     " outside src/parallel: route work through "
-                     "parallel::WorkerPool (shard-confined state is the "
-                     "only supported threading model)");
+                     " outside src/parallel or src/obs: route work "
+                     "through parallel::WorkerPool (shard-confined state "
+                     "is the only supported threading model)");
     }
   }
 }
