@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/reduce.h"
+#include "extmem/status.h"
 #include "metrics/registry.h"
 #include "query/classify.h"
 #include "trace/tracer.h"
@@ -154,17 +155,30 @@ void Executor::PeelIsland(std::vector<LiveRel> rels, query::EdgeId island,
   rest.erase(rest.begin() + island);
 
   extmem::FileReader reader(lr.rel.range());
-  MemChunk chunk;
-  while (storage::LoadChunk(reader, lr.rel.schema(), dev_, dev_->M(),
-                            &chunk)) {
-    // An island shares no live attribute with the rest: every chunk tuple
-    // combines with every emitted result (line 8–9).
+  // An island shares no live attribute with the rest: every chunk tuple
+  // combines with every emitted result (line 8–9).
+  const auto process = [&](const MemChunk& part) {
     Rec(rest, [&] {
-      for (TupleCount i = 0; i < chunk.size(); ++i) {
-        Bind(lr.rel.schema(), chunk.tuple(i).data());
+      for (TupleCount i = 0; i < part.size(); ++i) {
+        Bind(lr.rel.schema(), part.tuple(i).data());
         on_result();
       }
     });
+  };
+  while (!reader.Done()) {
+    // Re-polled per chunk: a budget shrink lands here as a smaller load.
+    const TupleCount cap = dev_->DegradedChunkCap(dev_->M());
+    MemChunk chunk;
+    auto trip = extmem::BudgetTripOf([&] {
+      static_cast<void>(
+          storage::LoadChunk(reader, lr.rel.schema(), dev_, cap, &chunk));
+    });
+    if (trip.has_value() && chunk.empty()) {
+      extmem::ThrowStatus(*std::move(trip));
+    }
+    if (!chunk.empty()) {
+      storage::ProcessChunkWithReplan(dev_, &chunk, lr.rel.schema(), process);
+    }
   }
 }
 
@@ -209,28 +223,41 @@ void Executor::PeelLeaf(std::vector<LiveRel> rels,
     }
 
     extmem::FileReader reader(cur.group().range());
-    MemChunk chunk;
-    while (storage::LoadChunk(reader, leaf.rel.schema(), dev_, m, &chunk)) {
-      // Every chunk tuple has value a on v, as does every recursive
-      // result, so all combinations match (lines 18–19).
+    // Every chunk tuple has value a on v, as does every recursive
+    // result, so all combinations match (lines 18–19).
+    const auto process = [&](const MemChunk& part) {
       Rec(rest, [&] {
-        for (TupleCount i = 0; i < chunk.size(); ++i) {
-          Bind(leaf.rel.schema(), chunk.tuple(i).data());
+        for (TupleCount i = 0; i < part.size(); ++i) {
+          Bind(leaf.rel.schema(), part.tuple(i).data());
           on_result();
         }
       });
+    };
+    while (!reader.Done()) {
+      const TupleCount cap = dev_->DegradedChunkCap(m);
+      MemChunk chunk;
+      auto trip = extmem::BudgetTripOf([&] {
+        static_cast<void>(
+            storage::LoadChunk(reader, leaf.rel.schema(), dev_, cap, &chunk));
+      });
+      if (trip.has_value() && chunk.empty()) {
+        extmem::ThrowStatus(*std::move(trip));
+      }
+      if (!chunk.empty()) {
+        storage::ProcessChunkWithReplan(dev_, &chunk, leaf.rel.schema(),
+                                        process);
+      }
     }
   }
 
   // --- Light values (lines 21–27). ---
   MemChunk chunk(leaf.rel.schema(), dev_);
-  auto flush = [&] {
-    if (chunk.empty()) return;
+  const auto process = [&](const MemChunk& part) {
     span.Count("light_chunks", 1);
     if (metrics::Registry* reg = dev_->metrics()) [[unlikely]] {
-      reg->GetHistogram("emjoin_emit_batch_tuples")->Record(chunk.size());
+      reg->GetHistogram("emjoin_emit_batch_tuples")->Record(part.size());
     }
-    const std::vector<Value> vals = chunk.DistinctValues(leaf_vcol);
+    const std::vector<Value> vals = part.DistinctValues(leaf_vcol);
 
     // R'(M1): neighbours semijoined with the chunk; v stays in the
     // logical query, so the query remains connected.
@@ -248,11 +275,15 @@ void Executor::PeelLeaf(std::vector<LiveRel> rels,
     Rec(rest, [&] {
       // Line 27: find the chunk tuples matching the result's v-value.
       const Value val = assignment_->ValueOf(v);
-      chunk.ForEachMatch(leaf_vcol, val, [&](storage::TupleRef t) {
+      part.ForEachMatch(leaf_vcol, val, [&](storage::TupleRef t) {
         Bind(leaf.rel.schema(), t.data());
         on_result();
       });
     });
+  };
+  auto flush = [&] {
+    if (chunk.empty()) return;
+    storage::ProcessChunkWithReplan(dev_, &chunk, leaf.rel.schema(), process);
     chunk.Clear();
   };
 
@@ -261,9 +292,17 @@ void Executor::PeelLeaf(std::vector<LiveRel> rels,
     if (group.size() >= m) continue;  // heavy: already handled
     extmem::FileReader reader(group.range());
     while (!reader.Done()) {
-      chunk.AppendBlock(reader.NextBlock());
+      auto trip = extmem::BudgetTripOf(
+          [&] { chunk.AppendBlock(reader.NextBlock()); });
+      if (trip.has_value()) {
+        // The block's tuples landed in the chunk before the reservation
+        // check tripped — drain it and keep accumulating.
+        if (chunk.empty()) extmem::ThrowStatus(*std::move(trip));
+        flush();
+      }
     }
-    if (chunk.size() >= m) flush();
+    // Re-polled per group: a shrink lands here as an earlier flush.
+    if (chunk.size() >= dev_->DegradedChunkCap(m)) flush();
   }
   flush();
 }
@@ -274,10 +313,15 @@ void AcyclicJoinUnderAssignment(const std::vector<storage::Relation>& rels,
                                 Assignment* assignment, const EmitFn& emit,
                                 const gens::LeafChooser& chooser) {
   if (rels.empty()) return;
+  extmem::Device* dev = rels.front().device();
+  // Executor-level watermark: budget-replan re-runs re-derive their
+  // pre-trip prefix; the journal suppresses the duplicates. Fault-free
+  // unguarded runs alias `emit` directly (zero overhead).
+  GuardedEmit guarded(dev, emit);
   std::vector<LiveRel> live;
   live.reserve(rels.size());
   for (const Relation& r : rels) live.push_back({r, r.schema()});
-  Executor exec(rels.front().device(), assignment, emit, chooser);
+  Executor exec(dev, assignment, guarded.fn(), chooser);
   exec.Run(std::move(live));
 }
 

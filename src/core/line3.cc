@@ -4,6 +4,7 @@
 
 #include "core/pairwise.h"
 #include "core/reduce.h"
+#include "extmem/status.h"
 #include "trace/tracer.h"
 
 namespace emjoin::core {
@@ -30,6 +31,7 @@ void LineJoin3UnderAssignment(const storage::Relation& r1_in,
   const storage::AttrId v3 = SharedAttr(r2_in, r3_in);
   extmem::Device* dev = r1_in.device();
   trace::Span span(dev, "line3");
+  GuardedEmit guarded(dev, emit);
   const TupleCount m = dev->M();
 
   // Lines 1–3: sort R1, R2 by v2; R3 by v3.
@@ -49,16 +51,19 @@ void LineJoin3UnderAssignment(const storage::Relation& r1_in,
     const storage::Relation r2a = r2.EqualRange(v2, a);
     const storage::Relation w = JoinToDisk(r2a, r3);
     // Line 6: R1|v2=a ⋈ W by nested-loop join.
-    BlockNestedLoopJoin(cur.group(), w, assignment, emit);
+    BlockNestedLoopJoin(cur.group(), w, assignment, guarded.fn());
   }
 
-  // Lines 8–12: light values, one memory chunk at a time.
+  // Lines 8–12: light values, one memory chunk at a time. The chunk body
+  // runs through ProcessChunkWithReplan: a budget trip mid-chunk is
+  // re-processed in halved sub-chunks (each R1 tuple contributes its
+  // results independently, so sub-chunking changes order, never the set;
+  // the GuardedEmit journal suppresses any re-derived prefix).
   storage::MemChunk chunk(r1.schema(), dev);
-  auto flush = [&] {
-    if (chunk.empty()) return;
+  const auto process = [&](const storage::MemChunk& part) {
     trace::Span light_span(dev, "line3.light");
     light_span.Count("light_chunks", 1);
-    const std::vector<Value> vals = chunk.DistinctValues(r1_v2col);
+    const std::vector<Value> vals = part.DistinctValues(r1_v2col);
     // Line 9: semijoin R2(M1) = R2 ⋉ M1 (one scan; R1, R2 sorted by v2).
     const storage::Relation r2m = SemiJoinValues(r2, v2, vals);
     // Line 10: sort-merge R2(M1) ⋈ R3; no value of v3 is heavy enough to
@@ -67,11 +72,15 @@ void LineJoin3UnderAssignment(const storage::Relation& r1_in,
     SortMergeJoin(r2m, r3, assignment, [&](std::span<const Value>) {
       // Lines 11–12: combine with the matching R1 tuples in memory.
       const Value val = assignment->ValueOf(v2);
-      chunk.ForEachMatch(r1_v2col, val, [&](storage::TupleRef t) {
+      part.ForEachMatch(r1_v2col, val, [&](storage::TupleRef t) {
         assignment->Bind(r1.schema(), t.data());
-        emit(assignment->values());
+        guarded.fn()(assignment->values());
       });
     });
+  };
+  auto flush = [&] {
+    if (chunk.empty()) return;
+    storage::ProcessChunkWithReplan(dev, &chunk, r1.schema(), process);
     chunk.Clear();
   };
 
@@ -80,9 +89,17 @@ void LineJoin3UnderAssignment(const storage::Relation& r1_in,
     if (group.size() >= m) continue;
     extmem::FileReader reader(group.range());
     while (!reader.Done()) {
-      chunk.AppendBlock(reader.NextBlock());
+      auto trip = extmem::BudgetTripOf(
+          [&] { chunk.AppendBlock(reader.NextBlock()); });
+      if (trip.has_value()) {
+        // The block's tuples are in the chunk (append lands before the
+        // reservation check trips) — drain it and keep accumulating.
+        if (chunk.empty()) extmem::ThrowStatus(*std::move(trip));
+        flush();
+      }
     }
-    if (chunk.size() >= m) flush();
+    // Re-polled per group: a shrink lands here as an earlier flush.
+    if (chunk.size() >= dev->DegradedChunkCap(m)) flush();
   }
   flush();
 }

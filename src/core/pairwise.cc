@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "extmem/status.h"
 #include "trace/tracer.h"
 
 namespace emjoin::core {
@@ -32,18 +33,35 @@ void BlockNestedLoopJoin(const Relation& outer, const Relation& inner,
                          Assignment* base, const EmitFn& emit) {
   extmem::Device* dev = outer.device();
   trace::Count(dev, "bnl_joins");
+  GuardedEmit guarded(dev, emit);
   extmem::FileReader outer_reader(outer.range());
-  storage::MemChunk chunk;
   const std::uint32_t iw = inner.schema().arity();
-  while (storage::LoadChunk(outer_reader, outer.schema(), dev, dev->M(),
-                            &chunk)) {
+  const auto process = [&](const storage::MemChunk& chunk) {
     extmem::FileReader inner_reader(inner.range());
     while (!inner_reader.Done()) {
       const std::span<const Value> block = inner_reader.NextBlock();
       for (const Value* t = block.data(); t != block.data() + block.size();
            t += iw) {
-        EmitChunkMatches(chunk, inner.schema(), t, base, emit);
+        EmitChunkMatches(chunk, inner.schema(), t, base, guarded.fn());
       }
+    }
+  };
+  while (!outer_reader.Done()) {
+    // Re-polled per chunk: a budget shrink lands here as a smaller load.
+    const TupleCount cap = dev->DegradedChunkCap(dev->M());
+    storage::MemChunk chunk;
+    auto trip = extmem::BudgetTripOf([&] {
+      static_cast<void>(
+          storage::LoadChunk(outer_reader, outer.schema(), dev, cap, &chunk));
+    });
+    if (trip.has_value() && chunk.empty()) {
+      extmem::ThrowStatus(*std::move(trip));
+    }
+    // A trip mid-load leaves the chunk holding exactly the tuples already
+    // consumed from the reader — process the partial chunk; the next loop
+    // iteration continues from the reader's position.
+    if (!chunk.empty()) {
+      storage::ProcessChunkWithReplan(dev, &chunk, outer.schema(), process);
     }
   }
 }
@@ -84,17 +102,25 @@ void SortMergeJoin(const Relation& r1, const Relation& r2, Assignment* base,
       // Load the lighter group, stream the other.
       const Relation& small = g1.size() <= g2.size() ? g1 : g2;
       const Relation& large = g1.size() <= g2.size() ? g2 : g1;
-      extmem::FileReader small_reader(small.range());
-      storage::MemChunk chunk;
-      storage::LoadChunk(small_reader, small.schema(), dev, small.size(),
-                         &chunk);
-      const std::uint32_t lw = large.schema().arity();
-      extmem::FileReader large_reader(large.range());
-      while (!large_reader.Done()) {
-        const std::span<const Value> block = large_reader.NextBlock();
-        for (const Value* t = block.data(); t != block.data() + block.size();
-             t += lw) {
-          EmitChunkMatches(chunk, large.schema(), t, base, emit);
+      if (dev->DegradedChunkCap(small.size()) < small.size()) {
+        // Degraded: the light group no longer fits the shrunken budget.
+        // Fall back to the chunked nested loop, which re-plans its own
+        // fan-in. Fault-free the cap equals small.size() and this branch
+        // is never taken, so golden counts are unchanged.
+        BlockNestedLoopJoin(small, large, base, emit);
+      } else {
+        extmem::FileReader small_reader(small.range());
+        storage::MemChunk chunk;
+        storage::LoadChunk(small_reader, small.schema(), dev, small.size(),
+                           &chunk);
+        const std::uint32_t lw = large.schema().arity();
+        extmem::FileReader large_reader(large.range());
+        while (!large_reader.Done()) {
+          const std::span<const Value> block = large_reader.NextBlock();
+          for (const Value* t = block.data(); t != block.data() + block.size();
+               t += lw) {
+            EmitChunkMatches(chunk, large.schema(), t, base, emit);
+          }
         }
       }
     }

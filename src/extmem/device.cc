@@ -7,6 +7,7 @@
 #include "extmem/fault_injector.h"
 #include "extmem/file.h"
 #include "extmem/status.h"
+#include "metrics/registry.h"
 #include "trace/tracer.h"
 
 namespace emjoin::extmem {
@@ -79,6 +80,26 @@ TupleCount Device::PlanningBudget() {
   return std::min(memory_tuples_, gauge_.limit());
 }
 
+TupleCount Device::DegradedChunkCap(TupleCount requested) {
+  const TupleCount budget = PlanningBudget();  // also applies pending shrinks
+  // Fault-free (and "enforced at exactly M") path: nothing is shrunk, so
+  // the caller's plan stands and golden I/O counts stay bit-identical.
+  if (!gauge_.enforcing() || gauge_.limit() >= memory_tuples_) {
+    return requested;
+  }
+  const TupleCount resident = gauge_.resident();
+  const TupleCount avail = budget > resident ? budget - resident : 0;
+  // Leave room for the nested work a chunk's processing does: a
+  // minimum-fan-in external sort keeps ~3 blocks resident (two merge
+  // inputs + one output run buffer) on top of the chunk, and halving
+  // the remainder leaves geometric room for recursive re-planning.
+  const TupleCount sort_headroom = 3 * block_tuples_;
+  TupleCount cap =
+      avail > sort_headroom ? (avail - sort_headroom) / 2 : avail / 8;
+  if (cap < 1) cap = 1;
+  return std::min(requested, cap);
+}
+
 // ---------------------------------------------------------------------
 // Fault-injected charge paths. Invariants the soak harness relies on:
 //  - the caller's tag sees exactly the charges the fault-free run would
@@ -103,6 +124,36 @@ void Device::ChargeRecoveryWrites(std::uint64_t blocks) {
   NotifyBlocks(0, blocks, /*recovery=*/true);
 }
 
+void Device::RecordBackoff(std::uint64_t backoff) {
+  if (metrics_ != nullptr) [[unlikely]] {
+    metrics_
+        ->GetHistogram("emjoin_recovery_backoff_ios", {{"tag", "recovery"}})
+        ->Record(backoff);
+  }
+}
+
+void Device::DrainRetryModeChange() {
+  RetryMode now = RetryMode::kSteady;
+  RetryMode before = RetryMode::kSteady;
+  if (!injector_->TakeModeChange(&now, &before)) return;
+  trace::Count(this, "retry_mode_changes", 1);
+  NotifyEvent(ObsEventKind::kRetryModeChange, RetryModeName(now),
+              static_cast<std::uint64_t>(now),
+              static_cast<std::uint64_t>(before));
+  if (metrics_ != nullptr) [[unlikely]] {
+    metrics_->GetGauge("emjoin_adaptive_retry_mode", {})
+        ->Set(static_cast<std::uint64_t>(now));
+  }
+}
+
+void Device::ThrowKilled(const char* op) {
+  throw StatusException(
+      Status(StatusCode::kIoError,
+             std::string(op) + " interrupted at virtual I/O tick " +
+                 std::to_string(stats_.total()) + " (killed; " +
+                 injector_->Describe() + ")"));
+}
+
 void Device::CheckCapacityForWrite() {
   const std::uint64_t cap = injector_->config().device_capacity_blocks;
   if (cap != 0 && stats_.block_writes >= cap) {
@@ -114,10 +165,16 @@ void Device::CheckCapacityForWrite() {
 }
 
 void Device::FaultyChargeReads(std::uint64_t blocks, bool tagged) {
-  const RetryPolicy& policy = injector_->retry();
   for (std::uint64_t b = 0; b < blocks; ++b) {
+    if (injector_->NextKill(stats_.total())) [[unlikely]] {
+      ThrowKilled("block read");
+    }
     std::uint32_t failures = 0;
     while (injector_->NextReadFails()) {
+      DrainRetryModeChange();
+      // Re-fetched each attempt: the adaptive model may have flipped the
+      // mode on the draw we just made.
+      const RetryPolicy& policy = injector_->retry();
       NotifyEvent(ObsEventKind::kReadFault, "read");
       ChargeRecoveryReads(1);  // the failed transfer still cost a tick
       ++failures;
@@ -132,9 +189,11 @@ void Device::FaultyChargeReads(std::uint64_t blocks, bool tagged) {
       const std::uint64_t backoff = policy.BackoffFor(failures - 1);
       ChargeRecoveryReads(backoff);
       injector_->CountRetry(backoff);
+      RecordBackoff(backoff);
       trace::Count(this, "io_retries", 1);
       NotifyEvent(ObsEventKind::kRetry, "read", backoff, failures);
     }
+    DrainRetryModeChange();
     stats_.block_reads += 1;
     if (tagged) TagEntry()->block_reads += 1;
     NotifyBlocks(1, 0, /*recovery=*/false);
@@ -142,11 +201,15 @@ void Device::FaultyChargeReads(std::uint64_t blocks, bool tagged) {
 }
 
 void Device::FaultyChargeWrites(std::uint64_t blocks, bool tagged) {
-  const RetryPolicy& policy = injector_->retry();
   for (std::uint64_t b = 0; b < blocks; ++b) {
+    if (injector_->NextKill(stats_.total())) [[unlikely]] {
+      ThrowKilled("block write");
+    }
     // Transient failures before the block lands.
     std::uint32_t failures = 0;
     while (injector_->NextWriteFails()) {
+      DrainRetryModeChange();
+      const RetryPolicy& policy = injector_->retry();
       NotifyEvent(ObsEventKind::kWriteFault, "write");
       ChargeRecoveryWrites(1);
       ++failures;
@@ -161,9 +224,11 @@ void Device::FaultyChargeWrites(std::uint64_t blocks, bool tagged) {
       const std::uint64_t backoff = policy.BackoffFor(failures - 1);
       ChargeRecoveryWrites(backoff);
       injector_->CountRetry(backoff);
+      RecordBackoff(backoff);
       trace::Count(this, "io_retries", 1);
       NotifyEvent(ObsEventKind::kRetry, "write", backoff, failures);
     }
+    DrainRetryModeChange();
     CheckCapacityForWrite();
     stats_.block_writes += 1;
     if (tagged) TagEntry()->block_writes += 1;
@@ -173,6 +238,8 @@ void Device::FaultyChargeWrites(std::uint64_t blocks, bool tagged) {
     // repairs it (and is itself subject to transient write faults).
     std::uint32_t tears = 0;
     while (injector_->NextWriteTorn()) {
+      DrainRetryModeChange();
+      const RetryPolicy& policy = injector_->retry();
       NotifyEvent(ObsEventKind::kTornWrite, "write", tears + 1);
       ChargeRecoveryReads(1);  // verify read that caught the tear
       ++tears;
@@ -205,6 +272,7 @@ void Device::FaultyChargeWrites(std::uint64_t blocks, bool tagged) {
         const std::uint64_t backoff = policy.BackoffFor(rewrite_failures - 1);
         ChargeRecoveryWrites(backoff);
         injector_->CountRetry(backoff);
+        RecordBackoff(backoff);
         NotifyEvent(ObsEventKind::kRetry, "rewrite", backoff,
                     rewrite_failures);
       }

@@ -160,6 +160,16 @@ class Device {
   /// always finish the allocation it planned). Fault-free this is M.
   [[nodiscard]] TupleCount PlanningBudget();
 
+  /// The chunk size an operator should load right now, given that it
+  /// asked for `requested` tuples. Fault-free (no enforced limit below
+  /// M) this returns `requested` unchanged, so golden I/O counts are
+  /// untouched. Under an enforced shrunken budget it returns a smaller
+  /// cap that leaves headroom for the nested sorts/semijoins a chunk's
+  /// processing performs (a minimum-merge sort needs ~3 blocks resident
+  /// on top of the chunk itself). Also a planning poll: pending shrinks
+  /// take effect here. Never returns 0.
+  [[nodiscard]] TupleCount DegradedChunkCap(TupleCount requested);
+
  private:
   TupleCount memory_tuples_;
   TupleCount block_tuples_;
@@ -185,6 +195,13 @@ class Device {
   void ChargeRecoveryReads(std::uint64_t blocks);
   void ChargeRecoveryWrites(std::uint64_t blocks);
   void CheckCapacityForWrite();
+  // Adaptive-retry observability: records one backoff sample in the
+  // registry histogram, and drains a pending retry-mode transition into
+  // the event sink / trace counter / mode gauge.
+  void RecordBackoff(std::uint64_t backoff);
+  void DrainRetryModeChange();
+  // Raises kIoError for a kill-switch interruption (kill_at_ios).
+  [[noreturn]] void ThrowKilled(const char* op);
 
   void NotifyBlocks(std::uint64_t reads, std::uint64_t writes,
                     bool recovery) {

@@ -24,6 +24,7 @@ enum class ObsEventKind : std::uint8_t {
   kShardFinish,     // a shard task finished (a = 1 ok, 0 failed)
   kWatermark,       // a peak-residency watermark (a = tuples)
   kQueryComplete,   // the whole query finished successfully
+  kRetryModeChange, // adaptive retry switched mode (a = new, b = old RetryMode)
 };
 
 /// One event. `name` follows the Device-tag convention: a string

@@ -30,6 +30,61 @@ std::optional<TupleCount> FaultInjector::NextShrink(std::uint64_t clock_ios,
   return next;
 }
 
+const char* RetryModeName(RetryMode mode) {
+  switch (mode) {
+    case RetryMode::kSteady: return "steady";
+    case RetryMode::kPersistent: return "persistent";
+    case RetryMode::kFailFast: return "fail_fast";
+  }
+  return "unknown";
+}
+
+namespace {
+// Adaptive thresholds. A streak of kDeadStreak consecutive failed draws
+// reads as a dead device; after kWarmupDraws total decisions, a fault
+// rate at or above 1-in-kFlakyRateDenom reads as persistently flaky.
+constexpr std::uint64_t kDeadStreak = 8;
+constexpr std::uint64_t kWarmupDraws = 32;
+constexpr std::uint64_t kFlakyRateDenom = 10;
+}  // namespace
+
+void FaultInjector::Observe(bool faulted) {
+  ++draws_;
+  streak_ = faulted ? streak_ + 1 : 0;
+  if (streak_ >= kDeadStreak) {
+    SetMode(RetryMode::kFailFast);
+  } else if (draws_ >= kWarmupDraws &&
+             stats_.TotalFaults() * kFlakyRateDenom >= draws_) {
+    SetMode(RetryMode::kPersistent);
+  } else {
+    SetMode(RetryMode::kSteady);
+  }
+}
+
+void FaultInjector::SetMode(RetryMode mode) {
+  if (mode == mode_) return;
+  prev_mode_ = mode_;
+  mode_ = mode;
+  mode_changed_ = true;
+  ++mode_transitions_;
+  effective_ = config_.retry;
+  switch (mode_) {
+    case RetryMode::kSteady:
+      break;
+    case RetryMode::kPersistent:
+      // Flaky-but-live: double the retry budget so bad-luck runs survive.
+      effective_.max_retries = config_.retry.max_retries * 2;
+      break;
+    case RetryMode::kFailFast:
+      // Dead device: one cheap re-attempt, no backoff — surface IO_ERROR
+      // instead of burning the virtual clock on doomed waits.
+      effective_.max_retries = std::min<std::uint32_t>(
+          config_.retry.max_retries, 1);
+      effective_.backoff_base_ios = 0;
+      break;
+  }
+}
+
 std::string FaultInjector::Describe() const {
   std::string s = "seed=" + std::to_string(config_.seed);
   s += " faults=" + std::to_string(stats_.TotalFaults());
@@ -40,6 +95,11 @@ std::string FaultInjector::Describe() const {
   s += " backoff_ios=" + std::to_string(stats_.backoff_ios);
   s += " shrinks=" + std::to_string(stats_.shrinks);
   s += " exhaustions=" + std::to_string(stats_.exhaustions);
+  if (config_.adaptive_retry) {
+    s += " retry_mode=";
+    s += RetryModeName(mode_);
+    s += " mode_transitions=" + std::to_string(mode_transitions_);
+  }
   return s;
 }
 

@@ -20,11 +20,29 @@ struct RetryPolicy {
   std::uint32_t max_retries = 4;
   std::uint64_t backoff_base_ios = 1;
 
-  /// Backoff charged after failed attempt `attempt` (0-based).
+  /// Backoff charged after failed attempt `attempt` (0-based). Saturates
+  /// at a 2^20 multiplier so pathological attempt counts can't shift the
+  /// base out of the word.
   std::uint64_t BackoffFor(std::uint32_t attempt) const {
     return backoff_base_ios << (attempt < 20 ? attempt : 20);
   }
 };
+
+/// Adaptive-retry modes derived from observed fault rates (FaultStats).
+/// The injector starts in kSteady (the configured RetryPolicy verbatim)
+/// and, when FaultConfig::adaptive_retry is set, re-derives the effective
+/// policy at every fault-decision draw:
+///   kFailFast:   a long unbroken streak of failed draws looks like a dead
+///                device — clamp retries to 1 and drop backoff so the hot
+///                loop surfaces IO_ERROR quickly instead of burning the
+///                virtual clock on doomed waits.
+///   kPersistent: a high-but-broken fault rate looks like a flaky-but-live
+///                device — double the retry budget so transient runs of
+///                bad luck don't kill an otherwise-finishing query.
+enum class RetryMode : std::uint8_t { kSteady = 0, kPersistent, kFailFast };
+
+/// Short stable name ("steady", "persistent", "fail_fast").
+const char* RetryModeName(RetryMode mode);
 
 /// Seeded fault schedule. All decisions are drawn from one PRNG seeded
 /// with `seed`, so a run is replayed exactly by re-running the same
@@ -58,11 +76,22 @@ struct FaultConfig {
 
   RetryPolicy retry;
 
+  /// Derive the effective RetryPolicy from observed fault rates (see
+  /// RetryMode). Off by default: with it off, retry() returns the
+  /// configured policy verbatim and replays of pre-adaptive seeds are
+  /// unchanged.
+  bool adaptive_retry = false;
+
+  /// Kill switch for kill-and-resume soaking: the first block charge at
+  /// or after this virtual-I/O tick raises IO_ERROR immediately (no
+  /// retries), simulating a crash mid-query. 0 = disabled.
+  std::uint64_t kill_at_ios = 0;
+
   /// True if any fault source is active.
   bool Active() const {
     return read_fail > 0 || write_fail > 0 || torn_write > 0 ||
            device_capacity_blocks > 0 || !shrink_at_ios.empty() ||
-           shrink_prob > 0 || shrink_every_poll;
+           shrink_prob > 0 || shrink_every_poll || kill_at_ios > 0;
   }
 };
 
@@ -99,14 +128,21 @@ inline FaultStats operator+(const FaultStats& a, const FaultStats& b) {
 }
 
 /// Field-wise delta, for before/after snapshots (spans, collectors).
+/// Saturates at zero: merged shard deltas can legitimately present a
+/// subtrahend larger than the minuend field-by-field (shards merge in
+/// shard order, not in fault order), and an underflowed 2^64-ish counter
+/// would poison every roll-up downstream.
 inline FaultStats operator-(const FaultStats& a, const FaultStats& b) {
-  return FaultStats{a.read_faults - b.read_faults,
-                    a.write_faults - b.write_faults,
-                    a.torn_writes - b.torn_writes,
-                    a.retries - b.retries,
-                    a.backoff_ios - b.backoff_ios,
-                    a.shrinks - b.shrinks,
-                    a.exhaustions - b.exhaustions};
+  const auto sub = [](std::uint64_t x, std::uint64_t y) {
+    return x > y ? x - y : 0;
+  };
+  return FaultStats{sub(a.read_faults, b.read_faults),
+                    sub(a.write_faults, b.write_faults),
+                    sub(a.torn_writes, b.torn_writes),
+                    sub(a.retries, b.retries),
+                    sub(a.backoff_ios, b.backoff_ios),
+                    sub(a.shrinks, b.shrinks),
+                    sub(a.exhaustions, b.exhaustions)};
 }
 
 /// Deterministic, seeded fault source for a Device. The device consults
@@ -122,13 +158,35 @@ class FaultInjector {
     // Scheduled ticks are consumed in order; sort so "fires at the first
     // poll at-or-after its tick" holds for any caller-supplied list.
     std::sort(config_.shrink_at_ios.begin(), config_.shrink_at_ios.end());
+    effective_ = config_.retry;
   }
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   const FaultConfig& config() const { return config_; }
-  const RetryPolicy& retry() const { return config_.retry; }
+
+  /// The policy the device should apply right now. With adaptive retry
+  /// off this is the configured policy verbatim; with it on it is the
+  /// policy derived for the current RetryMode. Device retry loops
+  /// re-fetch this each attempt, so a mode flip lands mid-loop.
+  const RetryPolicy& retry() const {
+    return config_.adaptive_retry ? effective_ : config_.retry;
+  }
+
+  RetryMode retry_mode() const { return mode_; }
+  std::uint64_t mode_transitions() const { return mode_transitions_; }
+
+  /// True exactly once per mode transition: the device drains it to emit
+  /// the kRetryModeChange event / metrics without the injector needing a
+  /// device back-pointer.
+  bool TakeModeChange(RetryMode* now, RetryMode* before) {
+    if (!mode_changed_) return false;
+    mode_changed_ = false;
+    *now = mode_;
+    *before = prev_mode_;
+    return true;
+  }
 
   /// Decision points (one PRNG draw each; order of calls defines the
   /// schedule, so identical workloads replay identically).
@@ -137,6 +195,16 @@ class FaultInjector {
     return Draw(config_.write_fail, &stats_.write_faults);
   }
   bool NextWriteTorn() { return Draw(config_.torn_write, &stats_.torn_writes); }
+
+  /// Kill-switch check, consulted before any fault draw so a kill run
+  /// perturbs no PRNG state. Fires at most once, at the first charge at
+  /// or after `kill_at_ios` on the virtual clock.
+  bool NextKill(std::uint64_t clock_ios) {
+    if (config_.kill_at_ios == 0 || killed_) return false;
+    if (clock_ios < config_.kill_at_ios) return false;
+    killed_ = true;
+    return true;
+  }
 
   /// Budget shrink decision at a planning poll with the virtual clock at
   /// `clock_ios` and the gauge limit at `current`. Returns the new
@@ -163,8 +231,14 @@ class FaultInjector {
     if (p <= 0.0) return false;
     const bool hit = dist_(rng_) < p;
     if (hit) ++(*counter);
+    if (config_.adaptive_retry) Observe(hit);
     return hit;
   }
+
+  /// Feed one fault-decision outcome into the adaptive model and
+  /// re-derive the effective policy when the mode flips.
+  void Observe(bool faulted);
+  void SetMode(RetryMode mode);
 
   FaultConfig config_;
   // lint: allow(determinism) — seeded from FaultConfig::seed in the ctor;
@@ -173,6 +247,17 @@ class FaultInjector {
   std::uniform_real_distribution<double> dist_{0.0, 1.0};
   FaultStats stats_;
   std::size_t next_scheduled_shrink_ = 0;
+
+  // Adaptive-retry state (all unused when !config_.adaptive_retry).
+  RetryPolicy effective_ = {};
+  RetryMode mode_ = RetryMode::kSteady;
+  RetryMode prev_mode_ = RetryMode::kSteady;
+  bool mode_changed_ = false;
+  std::uint64_t draws_ = 0;    // fault decisions observed
+  std::uint64_t streak_ = 0;   // consecutive failed decisions
+  std::uint64_t mode_transitions_ = 0;
+
+  bool killed_ = false;  // kill_at_ios fired
 };
 
 }  // namespace emjoin::extmem

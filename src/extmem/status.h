@@ -144,6 +144,22 @@ template <typename Fn>
   }
 }
 
+/// Runs `fn()` and intercepts ONLY a kBudgetExceeded trip, returning the
+/// carried Status; every other code keeps unwinding. This is the hook the
+/// operator re-planning paths use: a budget trip is a recoverable signal
+/// ("re-plan with a smaller fan-in"), whereas an I/O or data-loss error is
+/// a verdict about the device that halving a chunk cannot fix.
+template <typename Fn>
+[[nodiscard]] std::optional<Status> BudgetTripOf(Fn&& fn) {
+  try {
+    std::forward<Fn>(fn)();
+    return std::nullopt;
+  } catch (const StatusException& e) {
+    if (e.status().code() != StatusCode::kBudgetExceeded) throw;
+    return e.status();
+  }
+}
+
 }  // namespace emjoin::extmem
 
 #endif  // EMJOIN_EXTMEM_STATUS_H_

@@ -102,6 +102,7 @@ const char* FlightRecorder::KindName(extmem::ObsEventKind kind) {
     case extmem::ObsEventKind::kShardFinish: return "shard_finish";
     case extmem::ObsEventKind::kWatermark: return "watermark";
     case extmem::ObsEventKind::kQueryComplete: return "query_complete";
+    case extmem::ObsEventKind::kRetryModeChange: return "retry_mode_change";
   }
   return "unknown";
 }

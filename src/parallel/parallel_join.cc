@@ -13,6 +13,8 @@
 #include "metrics/registry.h"
 #include "parallel/shard_plan.h"
 #include "parallel/worker_pool.h"
+#include "recover/manifest.h"
+#include "recover/resume.h"
 #include "trace/tracer.h"
 
 namespace emjoin::parallel {
@@ -54,6 +56,14 @@ extmem::Result<ParallelJoinReport> TryParallelJoinAuto(
       ++rows;
       emit(row);
     };
+    if (options.manifest != nullptr) {
+      extmem::Result<recover::ResumeReport> r =
+          recover::TryResumableJoinAuto(rels, counted, options.manifest);
+      if (!r.ok()) return r.status();
+      report.auto_report = r->join;
+      report.results = rows;
+      return report;
+    }
     extmem::Result<core::AutoJoinReport> r = core::TryJoinAuto(rels, counted);
     if (!r.ok()) return r.status();
     report.auto_report = std::move(r).value();
@@ -66,6 +76,16 @@ extmem::Result<ParallelJoinReport> TryParallelJoinAuto(
   const std::uint32_t k = plan.shards;
   report.sharded = true;
   report.partition_attr = plan.partition_attr;
+
+  // Bind the manifest (fingerprint check) and create every shard child
+  // on the orchestrating thread — workers then touch only their own
+  // child, the same confinement discipline as devices and tracers.
+  recover::QueryManifest* manifest = options.manifest;
+  std::vector<recover::QueryManifest*> children(k, nullptr);
+  if (manifest != nullptr) {
+    if (extmem::Status s = manifest->Bind(rels, k); !s.ok()) return s;
+    for (std::uint32_t s = 0; s < k; ++s) children[s] = &manifest->Shard(s);
+  }
 
   // Shard-local substrate: each shard owns a Device with budget
   // max(M/K, B), plus its own Tracer / Registry / FaultInjector when the
@@ -127,9 +147,10 @@ extmem::Result<ParallelJoinReport> TryParallelJoinAuto(
   {
     WorkerPool pool(report.workers);
     for (std::uint32_t s = 0; s < k; ++s) {
-      pool.Submit([s, &runs, &fragments, &raw_devices] {
+      pool.Submit([s, &runs, &fragments, &raw_devices, &children] {
         ShardRun& run = runs[s];
         extmem::Device* dev = raw_devices[s];
+        recover::QueryManifest* child = children[s];
         const auto emit_lifecycle = [dev](extmem::ObsEventKind kind,
                                           std::uint64_t outcome) {
           if (extmem::IoEventSink* sink = dev->events()) {
@@ -137,6 +158,15 @@ extmem::Result<ParallelJoinReport> TryParallelJoinAuto(
           }
         };
         emit_lifecycle(extmem::ObsEventKind::kShardStart, 0);
+        if (child != nullptr && child->PhaseCompleted("join")) {
+          // This shard finished in a prior attempt: zero-I/O resume —
+          // its rows come out of the child journal at the barrier.
+          run.rows = child->journal().rows();
+          run.outcome = core::AutoJoinReport{
+              "resume", "shard join already completed in manifest"};
+          emit_lifecycle(extmem::ObsEventKind::kShardFinish, 1);
+          return;
+        }
         const std::vector<storage::Relation>& shard_rels = fragments[s];
         const bool any_empty =
             std::any_of(shard_rels.begin(), shard_rels.end(),
@@ -144,6 +174,7 @@ extmem::Result<ParallelJoinReport> TryParallelJoinAuto(
         if (any_empty) {
           // An empty fragment empties the whole shard-local join; skip
           // the operator instead of paying its fixed I/O for zero rows.
+          if (child != nullptr) child->MarkPhase("join");
           run.outcome = core::AutoJoinReport{
               "empty-shard", "an input fragment is empty on this shard"};
           emit_lifecycle(extmem::ObsEventKind::kShardFinish, 1);
@@ -153,9 +184,20 @@ extmem::Result<ParallelJoinReport> TryParallelJoinAuto(
           run.buffer.insert(run.buffer.end(), row.begin(), row.end());
           ++run.rows;
         };
+        // With a manifest, the shard journals every buffered row; rows a
+        // prior interrupted attempt already journaled are suppressed
+        // here and recovered from the journal at the barrier instead.
+        core::EmitFn shard_emit = buffer_emit;
+        if (child != nullptr) {
+          shard_emit = core::JournaledEmit(&child->journal(), buffer_emit);
+        }
         // TryJoinAuto converts every failure into a Status internally,
         // so no exception crosses the thread boundary.
-        run.outcome = core::TryJoinAuto(shard_rels, buffer_emit);
+        run.outcome = core::TryJoinAuto(shard_rels, shard_emit);
+        if (child != nullptr && run.outcome->ok()) {
+          child->MarkPhase("join");
+          run.rows = child->journal().rows();
+        }
         emit_lifecycle(extmem::ObsEventKind::kShardFinish,
                        run.outcome->ok() ? 1 : 0);
       });
@@ -171,11 +213,23 @@ extmem::Result<ParallelJoinReport> TryParallelJoinAuto(
 
   // Replay buffered output in shard order: the emitted sequence depends
   // only on the inputs and K, never on worker interleaving.
-  const std::size_t width = core::MakeResultSchema(rels).attrs.size();
-  for (std::uint32_t s = 0; s < k; ++s) {
-    const std::vector<Value>& buf = runs[s].buffer;
-    for (std::size_t off = 0; off < buf.size(); off += width) {
-      emit(std::span<const Value>(buf.data() + off, width));
+  if (manifest != nullptr) {
+    // Replay each shard's journal (prior-attempt rows plus this run's)
+    // through the query-level watermark — the same shard-order fold as
+    // MergeShards(), deduplicated so a re-run never double-emits.
+    const core::EmitFn journaled =
+        core::JournaledEmit(&manifest->journal(), emit);
+    for (std::uint32_t s = 0; s < k; ++s) {
+      children[s]->journal().ReplayInto(journaled);
+    }
+    manifest->MarkPhase("join");
+  } else {
+    const std::size_t width = core::MakeResultSchema(rels).attrs.size();
+    for (std::uint32_t s = 0; s < k; ++s) {
+      const std::vector<Value>& buf = runs[s].buffer;
+      for (std::size_t off = 0; off < buf.size(); off += width) {
+        emit(std::span<const Value>(buf.data() + off, width));
+      }
     }
   }
 

@@ -17,6 +17,10 @@ namespace emjoin::metrics {
 class Registry;
 }  // namespace emjoin::metrics
 
+namespace emjoin::recover {
+class QueryManifest;
+}  // namespace emjoin::recover
+
 namespace emjoin::parallel {
 
 /// Knobs for a sharded run. shards == 1 is the exact serial path
@@ -30,6 +34,14 @@ struct ParallelOptions {
   /// id, so every shard draws an independent but replayable schedule.
   bool faults = false;
   extmem::FaultConfig fault_config;
+  /// Optional whole-query checkpoint. When set, every shard journals its
+  /// output into its own child manifest (`manifest->Shard(s)`) as it
+  /// runs; shards whose "join" phase is already completed in a loaded
+  /// manifest are skipped outright (their rows replay from the journal
+  /// with zero shard I/O), and the final emission is deduplicated
+  /// against the query-level watermark. K == 1 routes through
+  /// recover::TryResumableJoinAuto. Not owned; must outlive the call.
+  recover::QueryManifest* manifest = nullptr;
 };
 
 /// What one shard did: its device's whole-run I/O, per-tag breakdown

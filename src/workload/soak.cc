@@ -1,6 +1,9 @@
 #include "workload/soak.h"
 
+#include <algorithm>
+#include <memory>
 #include <random>
+#include <span>
 #include <sstream>
 #include <utility>
 
@@ -10,6 +13,7 @@
 #include "extmem/file.h"
 #include "extmem/sorter.h"
 #include "parallel/parallel_join.h"
+#include "recover/manifest.h"
 #include "workload/constructions.h"
 
 namespace emjoin::workload {
@@ -26,6 +30,15 @@ void HashValue(std::uint64_t* h, Value v) {
 
 void HashRowEnd(std::uint64_t* h) { HashValue(h, ~Value{0} - 1); }
 
+// Standalone FNV-1a of one row, for the commutative set hash (summed
+// per-row hashes are order-insensitive, unlike the running order hash).
+std::uint64_t RowFnv(std::span<const Value> row) {
+  std::uint64_t h = kFnvOffset;
+  for (Value v : row) HashValue(&h, v);
+  HashRowEnd(&h);
+  return h;
+}
+
 // Deterministic tuple stream for the sort workload, derived from the
 // plan seed only (never the injector PRNG).
 struct Xorshift {
@@ -41,76 +54,138 @@ struct Xorshift {
 struct BodyResult {
   std::uint64_t rows = 0;
   std::uint64_t hash = kFnvOffset;
+  std::uint64_t set_hash = 0;  // commutative: sum of per-row FNV hashes
   bool resumed = false;
   extmem::FaultStats shard_faults;  // per-shard injector tallies (sharded)
+  extmem::IoStats shard_recovery;   // shard devices' "recovery" charges
+  extmem::IoStats shard_total;      // shard devices' whole-run totals
 };
 
-BodyResult RunSort(extmem::Device* dev, const SoakPlan& plan) {
-  const TupleCount n = plan.params.at(0);
-  extmem::FilePtr input = dev->NewFile(2);
-  {
-    extmem::FileWriter writer(input);
-    Xorshift rng{plan.seed | 1};
-    for (TupleCount i = 0; i < n; ++i) {
-      const Value row[2] = {rng.Next() % 997, i};
-      writer.Append(row);
-    }
-    writer.Finish();
-  }
-
+// One checkpointed sort of `input` with a single manifest resume on a
+// transient failure (faults stay active, so the retry may itself end in
+// a typed error). Shared by the serial and sharded sort workloads.
+extmem::FilePtr SortWithOneResume(const extmem::FilePtr& input,
+                                  bool* resumed) {
   const std::uint32_t key[] = {0};
   extmem::SortManifest manifest;
-  auto sorted = extmem::TryExternalSort(extmem::FileRange(input), key,
-                                        &manifest);
-  BodyResult out;
+  auto sorted =
+      extmem::TryExternalSort(extmem::FileRange(input), key, &manifest);
   if (!sorted.ok()) {
     const extmem::StatusCode code = sorted.status().code();
     const bool transient = code == extmem::StatusCode::kIoError ||
                            code == extmem::StatusCode::kDataLoss;
     if (transient && manifest.valid) {
-      // One resume from the checkpointed runs; faults stay active, so
-      // the retry may itself end in a typed error.
-      out.resumed = true;
-      sorted = extmem::TryExternalSort(extmem::FileRange(input), key,
-                                       &manifest);
+      *resumed = true;
+      sorted =
+          extmem::TryExternalSort(extmem::FileRange(input), key, &manifest);
     }
   }
   if (!sorted.ok()) extmem::ThrowStatus(sorted.status());
+  return *std::move(sorted);
+}
 
-  // Content hash via uncharged raw access (a correctness oracle, exempt
-  // from the cost model like the sorter's own tests).
-  const extmem::FilePtr& file = *sorted;
-  out.rows = file->size();
+// Content hash via uncharged raw access (a correctness oracle, exempt
+// from the cost model like the sorter's own tests).
+void HashSortedFile(const extmem::FilePtr& file, BodyResult* out) {
+  out->rows += file->size();
   for (TupleCount i = 0; i < file->size(); ++i) {
     const Value* t = file->RawTuple(i);
-    HashValue(&out.hash, t[0]);
-    HashValue(&out.hash, t[1]);
-    HashRowEnd(&out.hash);
+    HashValue(&out->hash, t[0]);
+    HashValue(&out->hash, t[1]);
+    HashRowEnd(&out->hash);
+    const Value row[2] = {t[0], t[1]};
+    out->set_hash += RowFnv(row);
+  }
+}
+
+BodyResult RunSort(extmem::Device* dev, const SoakPlan& plan, bool inject) {
+  const TupleCount n = plan.params.at(0);
+  BodyResult out;
+
+  if (plan.shards <= 1) {
+    extmem::FilePtr input = dev->NewFile(2);
+    {
+      extmem::FileWriter writer(input);
+      Xorshift rng{plan.seed | 1};
+      for (TupleCount i = 0; i < n; ++i) {
+        const Value row[2] = {rng.Next() % 997, i};
+        writer.Append(row);
+      }
+      writer.Finish();
+    }
+    HashSortedFile(SortWithOneResume(input, &out.resumed), &out);
+    return out;
+  }
+
+  // Sharded sort: partition the same deterministic stream by key across
+  // K shard devices (budget max(M/K, 4B), per-shard injectors seeded
+  // seed + shard id), run each fragment's checkpointed sort with its own
+  // SortManifest — so manifest resume is exercised under K > 1 — and
+  // fold the outputs in shard order.
+  const std::uint32_t k = plan.shards;
+  const TupleCount shard_mem =
+      std::max<TupleCount>(plan.memory / k, 4 * plan.block);
+  std::vector<std::unique_ptr<extmem::Device>> devices;
+  std::vector<std::unique_ptr<extmem::FaultInjector>> injectors(k);
+  std::vector<extmem::FilePtr> inputs;
+  for (std::uint32_t s = 0; s < k; ++s) {
+    devices.push_back(std::make_unique<extmem::Device>(shard_mem, plan.block));
+    if (inject) {
+      extmem::FaultConfig config = plan.faults;
+      config.seed = plan.faults.seed + s;
+      injectors[s] = std::make_unique<extmem::FaultInjector>(config);
+      devices[s]->set_fault_injector(injectors[s].get());
+    }
+    inputs.push_back(devices[s]->NewFile(2));
+  }
+  {
+    std::vector<std::unique_ptr<extmem::FileWriter>> writers;
+    for (std::uint32_t s = 0; s < k; ++s) {
+      writers.push_back(std::make_unique<extmem::FileWriter>(inputs[s]));
+    }
+    Xorshift rng{plan.seed | 1};
+    for (TupleCount i = 0; i < n; ++i) {
+      const Value row[2] = {rng.Next() % 997, i};
+      writers[row[0] % k]->Append(row);
+    }
+    for (auto& w : writers) w->Finish();
+  }
+  for (std::uint32_t s = 0; s < k; ++s) {
+    HashSortedFile(SortWithOneResume(inputs[s], &out.resumed), &out);
+  }
+  for (std::uint32_t s = 0; s < k; ++s) {
+    if (injectors[s]) out.shard_faults = out.shard_faults + injectors[s]->stats();
+    for (const auto& [tag, stats] : devices[s]->per_tag()) {
+      if (tag == "recovery") out.shard_recovery += stats;
+    }
+    out.shard_total += devices[s]->stats();
   }
   return out;
 }
 
-BodyResult RunJoin(extmem::Device* dev, const SoakPlan& plan, bool inject) {
-  std::vector<storage::Relation> rels;
+std::vector<storage::Relation> BuildJoinRels(extmem::Device* dev,
+                                             const SoakPlan& plan) {
   switch (plan.workload) {
     case 1:
-      rels = L3WorstCase(dev, plan.params.at(0), 1, plan.params.at(1));
-      break;
+      return L3WorstCase(dev, plan.params.at(0), 1, plan.params.at(1));
     case 2:
-      rels = StarWorstCase(
+      return StarWorstCase(
           dev, {plan.params.at(0), plan.params.at(1), plan.params.at(2)});
-      break;
     default:
-      rels = CrossProductLine(
-          dev, {1, plan.params.at(0), 1, plan.params.at(1), 1});
-      break;
+      return CrossProductLine(dev,
+                              {1, plan.params.at(0), 1, plan.params.at(1), 1});
   }
+}
+
+BodyResult RunJoin(extmem::Device* dev, const SoakPlan& plan, bool inject) {
+  std::vector<storage::Relation> rels = BuildJoinRels(dev, plan);
 
   BodyResult out;
   const auto emit = [&](std::span<const Value> row) {
     ++out.rows;
     for (Value v : row) HashValue(&out.hash, v);
     HashRowEnd(&out.hash);
+    out.set_hash += RowFnv(row);
   };
   // The throwing entry points: device faults surface as StatusException,
   // which RunPlan's CatchStatus turns back into a typed outcome. The
@@ -210,8 +285,12 @@ SoakPlan PlanFromSeed(std::uint64_t seed) {
   // covers partitioning, per-shard injector seeds (f.seed + shard id),
   // and the shard-failure-to-Status path. Drawn last: plans for a given
   // seed keep every choice above identical to the unsharded planner, so
-  // replay lines from before sharding existed still reproduce.
-  if (plan.workload != 0 && !plan.use_yannakakis && rng() % 3 == 0) {
+  // replay lines from before sharding existed still reproduce. A third
+  // of the sort runs shard too (K partitioned inputs, each with its own
+  // SortManifest), covering manifest resume under K > 1.
+  if (plan.workload == 0) {
+    if (rng() % 3 == 0) plan.shards = Pick<std::uint32_t>(rng, {2, 3, 4});
+  } else if (!plan.use_yannakakis && rng() % 3 == 0) {
     plan.shards = Pick<std::uint32_t>(rng, {2, 3, 4});
     plan.workers = Pick<std::uint32_t>(rng, {1, 2});
   }
@@ -224,7 +303,7 @@ SoakOutcome RunPlan(const SoakPlan& plan, bool inject) {
   if (inject) dev.set_fault_injector(&injector);
 
   const auto body = extmem::CatchStatus([&] {
-    return plan.workload == 0 ? RunSort(&dev, plan)
+    return plan.workload == 0 ? RunSort(&dev, plan, inject)
                               : RunJoin(&dev, plan, inject);
   });
 
@@ -233,6 +312,7 @@ SoakOutcome RunPlan(const SoakPlan& plan, bool inject) {
     out.completed = true;
     out.rows = body->rows;
     out.hash = body->hash;
+    out.set_hash = body->set_hash;
     out.resumed_sort = body->resumed;
   } else {
     out.status = body.status();
@@ -245,6 +325,10 @@ SoakOutcome RunPlan(const SoakPlan& plan, bool inject) {
     if (tag == "recovery") out.recovery += stats;
   }
   out.total = dev.stats();
+  if (body.ok()) {
+    out.recovery += body->shard_recovery;
+    out.total += body->shard_total;
+  }
   return out;
 }
 
@@ -270,6 +354,134 @@ std::string ReplayLine(const SoakPlan& plan, const SoakOutcome& outcome) {
      << " shrinks=" << outcome.fault_stats.shrinks
      << " recovery_ios=" << outcome.recovery.total() << "]";
   return os.str();
+}
+
+KillResumeOutcome RunKillResume(std::uint64_t seed, std::uint32_t shards) {
+  // A seed-derived join plan (joins only; the kill switch targets the
+  // manifest-journaled query path). Decoupled from PlanFromSeed so the
+  // fault-soak replay space is untouched.
+  SoakPlan plan;
+  plan.seed = seed;
+  std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 7);
+  plan.workload = 1 + static_cast<int>(rng() % 3);
+  plan.memory = Pick<TupleCount>(rng, {128, 256, 512});
+  plan.block = Pick<TupleCount>(rng, {4, 8, 16});
+  if (plan.block * 4 > plan.memory) plan.block = plan.memory / 4;
+  switch (plan.workload) {
+    case 1:
+      plan.params = {32 + rng() % 48, 32 + rng() % 48};
+      break;
+    case 2:
+      plan.params = {3 + rng() % 5, 3 + rng() % 5, 3 + rng() % 5};
+      break;
+    default:
+      plan.params = {6 + rng() % 8, 6 + rng() % 8};
+      break;
+  }
+  plan.shards = std::max<std::uint32_t>(shards, 1);
+  plan.workers = plan.shards > 1 ? 2 : 1;
+
+  struct Capture {
+    std::uint64_t rows = 0;
+    std::uint64_t set = 0;
+  };
+  // One attempt: fresh device + rebuilt inputs every time, so only the
+  // manifest carries state across attempts (exactly the resume story).
+  // Returns the query Status; fills the capture and the clock bound
+  // (max of source total and slowest shard) used to pick the kill tick.
+  const auto attempt = [&plan](recover::QueryManifest* manifest,
+                               std::uint64_t kill_tick, Capture* cap,
+                               std::uint64_t* clock_bound) -> extmem::Status {
+    extmem::Device dev(plan.memory, plan.block);
+    extmem::FaultInjector injector([&] {
+      extmem::FaultConfig config;
+      config.seed = plan.seed;
+      config.kill_at_ios = kill_tick;
+      return config;
+    }());
+    if (kill_tick > 0) dev.set_fault_injector(&injector);
+    parallel::ParallelOptions options;
+    options.shards = plan.shards;
+    options.workers = plan.workers;
+    options.manifest = manifest;
+    if (kill_tick > 0) {
+      options.faults = true;
+      options.fault_config.seed = plan.seed;
+      options.fault_config.kill_at_ios = kill_tick;
+    }
+    std::uint64_t max_shard = 0;
+    const auto result = extmem::CatchStatus([&] {
+      const std::vector<storage::Relation> rels = BuildJoinRels(&dev, plan);
+      const core::EmitFn emit = [cap](std::span<const Value> row) {
+        ++cap->rows;
+        cap->set += RowFnv(row);
+      };
+      auto report = parallel::TryParallelJoinAuto(rels, emit, options);
+      if (!report.ok()) extmem::ThrowStatus(report.status());
+      max_shard = report->max_shard_ios;
+      return 0;
+    });
+    if (clock_bound != nullptr) {
+      *clock_bound = std::max<std::uint64_t>(dev.stats().total(), max_shard);
+    }
+    return result.ok() ? extmem::Status::Ok() : result.status();
+  };
+
+  KillResumeOutcome out;
+
+  // (1) Uninterrupted baseline: output oracle + the virtual-clock bound.
+  Capture baseline;
+  std::uint64_t clock_bound = 0;
+  if (extmem::Status s = attempt(nullptr, 0, &baseline, &clock_bound);
+      !s.ok()) {
+    out.detail = "baseline failed: " + s.ToString();
+    return out;
+  }
+  out.baseline_rows = baseline.rows;
+  if (clock_bound < 2) {
+    out.detail = "degenerate plan: fewer than 2 I/Os";
+    return out;
+  }
+  out.kill_tick = 1 + rng() % (clock_bound - 1);
+
+  // (2) Interrupted run: kill at the tick, journal into the manifest.
+  recover::QueryManifest manifest;
+  Capture interrupted;
+  const extmem::Status killed =
+      attempt(&manifest, out.kill_tick, &interrupted, nullptr);
+  out.pre_kill_rows = interrupted.rows;
+  if (killed.ok()) {
+    // The tick landed past this configuration's clock (possible when the
+    // baseline bound covers a different device than the one that ran
+    // longest); the run completed — it must still match the baseline.
+    out.ok = interrupted.rows == baseline.rows && interrupted.set == baseline.set;
+    if (!out.ok) out.detail = "uninterrupted-with-manifest output mismatch";
+    return out;
+  }
+  if (killed.code() != extmem::StatusCode::kIoError) {
+    out.detail = "kill surfaced as unexpected status: " + killed.ToString();
+    return out;
+  }
+  out.interrupted = true;
+
+  // (3) Resume from the manifest: no faults, fresh device + inputs.
+  Capture resumed;
+  if (extmem::Status s = attempt(&manifest, 0, &resumed, nullptr); !s.ok()) {
+    out.detail = "resume failed: " + s.ToString();
+    return out;
+  }
+  out.resumed_rows = resumed.rows;
+
+  // The contract: both attempts together delivered every baseline row
+  // exactly once — counts add up and the commutative multiset hash over
+  // the union equals the baseline's (no duplicates, nothing missing).
+  if (interrupted.rows + resumed.rows != baseline.rows ||
+      interrupted.set + resumed.set != baseline.set) {
+    out.detail = "resumed union differs from baseline";
+    return out;
+  }
+  out.ok = true;
+  return out;
 }
 
 }  // namespace emjoin::workload

@@ -34,9 +34,11 @@ struct SoakPlan {
   TupleCount memory = 256;
   TupleCount block = 16;
   bool use_yannakakis = false;            // joins only
-  /// shards >= 2 routes the join through TryParallelJoinAuto (auto
-  /// dispatch only): per-shard injectors seeded faults.seed + shard id,
-  /// so the sharded fault schedule is as replayable as the serial one.
+  /// shards >= 2 routes a join through TryParallelJoinAuto (auto
+  /// dispatch only) and a sort through K shard devices each running its
+  /// own SortManifest-checkpointed sort: per-shard injectors are seeded
+  /// faults.seed + shard id, so the sharded fault schedule is as
+  /// replayable as the serial one.
   std::uint32_t shards = 1;
   std::uint32_t workers = 1;
   std::vector<TupleCount> params;         // workload-specific sizes
@@ -53,6 +55,12 @@ struct SoakOutcome {
 
   std::uint64_t rows = 0;
   std::uint64_t hash = 0;   // order-sensitive FNV-1a over the output
+  /// Commutative content hash (sum of per-row FNV-1a hashes): equal iff
+  /// the output *sets* match regardless of emission order. The soak
+  /// contract for a completed faulted run is: rows and `hash` match the
+  /// baseline, OR the run degraded under budget shrinks (smaller chunk
+  /// plans legally reorder emissions) and rows and `set_hash` match.
+  std::uint64_t set_hash = 0;
   bool resumed_sort = false;  // the sort workload resumed from a manifest
 
   /// Injector tallies (zero for baselines). For sharded runs that
@@ -71,6 +79,28 @@ SoakOutcome RunPlan(const SoakPlan& plan, bool inject);
 /// One-line description for failure reports: the seed, the plan, and how
 /// the run ended — everything needed to replay.
 std::string ReplayLine(const SoakPlan& plan, const SoakOutcome& outcome);
+
+/// Kill-and-resume soak: runs a seed-derived join three times — (1) an
+/// uninterrupted baseline, (2) a run interrupted at a seed-derived
+/// virtual-I/O tick (FaultConfig::kill_at_ios) journaling into a
+/// QueryManifest, (3) a resume from that manifest — and checks that the
+/// rows delivered before the kill plus the rows the resume delivered are
+/// exactly the baseline output set with zero duplicate emits.
+struct KillResumeOutcome {
+  bool ok = false;
+  /// What went wrong when !ok; everything needed to replay when ok.
+  std::string detail;
+  bool interrupted = false;   // the kill actually fired mid-run
+  std::uint64_t kill_tick = 0;
+  std::uint64_t baseline_rows = 0;
+  std::uint64_t pre_kill_rows = 0;  // delivered by the interrupted run
+  std::uint64_t resumed_rows = 0;   // delivered by the resumed run
+};
+
+/// `shards` == 1 exercises the serial resume path, >= 2 the sharded one
+/// (per-shard manifests; completed shards skip on resume). The workload,
+/// geometry, and kill tick all derive from `seed`.
+KillResumeOutcome RunKillResume(std::uint64_t seed, std::uint32_t shards);
 
 }  // namespace emjoin::workload
 

@@ -1,9 +1,12 @@
 // Randomized fault soak: many seeded runs, each executed fault-free and
 // then under a seed-derived fault schedule. The contract under test is
 // the robustness layer's core guarantee: a faulted run either produces
-// bit-identical output (row count + content hash) or ends in a clean
-// typed error — never a crash, an abort, or silently wrong output. A
-// failing run's seed is printed so it can be replayed exactly
+// output matching the baseline — bit-identical (row count +
+// order-sensitive hash), or, when it degraded under budget shrinks
+// (re-planned chunks legally reorder emissions), the same output *set*
+// (row count + commutative set_hash) — or ends in a clean typed error;
+// never a crash, an abort, or silently wrong output. A failing run's
+// seed is printed so it can be replayed exactly
 // (tools/emjoin_soak --seed=N --runs=1).
 //
 // Env overrides (used by the CI soak job):
@@ -49,7 +52,10 @@ TEST(FaultSoak, SeededRunsEndBitIdenticalOrTypedError) {
       if (faulted.resumed_sort) ++resumed;
       EXPECT_EQ(faulted.rows, baseline.rows)
           << "row count diverged; replay: " << ReplayLine(plan, faulted);
-      EXPECT_EQ(faulted.hash, baseline.hash)
+      const bool order_ok = faulted.hash == baseline.hash;
+      const bool set_ok = faulted.fault_stats.shrinks > 0 &&
+                          faulted.set_hash == baseline.set_hash;
+      EXPECT_TRUE(order_ok || set_ok)
           << "output bits diverged; replay: " << ReplayLine(plan, faulted);
     } else {
       ++typed_errors;
@@ -84,6 +90,7 @@ TEST(FaultSoak, ReplayIsDeterministic) {
     EXPECT_EQ(first.completed, second.completed) << "seed " << seed;
     EXPECT_EQ(first.rows, second.rows) << "seed " << seed;
     EXPECT_EQ(first.hash, second.hash) << "seed " << seed;
+    EXPECT_EQ(first.set_hash, second.set_hash) << "seed " << seed;
     EXPECT_EQ(first.status.code(), second.status.code()) << "seed " << seed;
     EXPECT_EQ(first.status.message(), second.status.message())
         << "seed " << seed;
@@ -102,9 +109,11 @@ TEST(FaultSoak, ReplayIsDeterministic) {
 
 // A pure budget-shrink schedule (shrink at EVERY planning poll, no other
 // faults) across all workloads. The standalone sort must complete
-// bit-identically — shrinks degrade it, never fail it. Joins hold
-// operator state beyond the sorter's control, so for them the contract
-// arm is checked: identical bits or a typed kBudgetExceeded.
+// bit-identically — shrinks degrade it, never fail it. Joins re-plan
+// their chunking under shrinks, which legally reorders emissions, so
+// for them the degraded contract arm applies: same output set
+// (rows + set_hash), or a typed kBudgetExceeded when even the floor
+// cannot hold a single tuple's working set.
 TEST(FaultSoak, ShrinkAtEveryPollHoldsTheContract) {
   for (int workload = 0; workload < kNumSoakWorkloads; ++workload) {
     SoakPlan plan;
@@ -129,7 +138,10 @@ TEST(FaultSoak, ShrinkAtEveryPollHoldsTheContract) {
     }
     if (faulted.completed) {
       EXPECT_EQ(faulted.rows, baseline.rows) << ReplayLine(plan, faulted);
-      EXPECT_EQ(faulted.hash, baseline.hash) << ReplayLine(plan, faulted);
+      const bool order_ok = faulted.hash == baseline.hash;
+      const bool set_ok = faulted.fault_stats.shrinks > 0 &&
+                          faulted.set_hash == baseline.set_hash;
+      EXPECT_TRUE(order_ok || set_ok) << ReplayLine(plan, faulted);
     } else {
       EXPECT_EQ(faulted.status.code(), extmem::StatusCode::kBudgetExceeded)
           << ReplayLine(plan, faulted);

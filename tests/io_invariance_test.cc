@@ -196,6 +196,34 @@ TEST(IoInvariance, TracerChangesNoCharges) {
   EXPECT_EQ(roots, dev.stats() - before_join);
 }
 
+// The recovery layer's manifest and output watermark are host-side
+// state, exactly like the tracer: routing Golden C's emissions through
+// a journaled EmitFn (the manifest's watermark) must change zero block
+// charges — fault-free golden counts stay pinned with recovery attached.
+TEST(IoInvariance, EmitJournalChangesNoCharges) {
+  extmem::Device dev(256, 16);
+  const query::JoinQuery q = query::JoinQuery::Line(3);
+  workload::RandomOptions opt;
+  opt.seed = 7;
+  opt.domain_size = 32;
+  std::vector<storage::Relation> rels =
+      workload::RandomInstance(&dev, q, {3000, 2000, 3000}, opt);
+  core::CountingSink sink;
+  core::EmitJournal journal;
+  core::LineJoin3(rels[0], rels[1], rels[2],
+                  core::JournaledEmit(&journal, sink.AsEmitFn()));
+
+  // Bit-identical to IoInvariance.Line3JoinPipeline (journal detached).
+  EXPECT_EQ(sink.count(), 1048576u);
+  EXPECT_EQ(journal.rows(), 1048576u);
+  EXPECT_EQ(dev.stats().block_reads, 2577u);
+  EXPECT_EQ(dev.stats().block_writes, 1472u);
+  const auto tags = MergedTags(dev);
+  ExpectTag(tags, "scan", 896, 192);
+  ExpectTag(tags, "semijoin", 721, 320);
+  ExpectTag(tags, "sort", 960, 960);
+}
+
 // Fan-in past the cascade limit routes through the loser tree: M=64 B=2
 // gives fan-in M/B=32 > 16. n=4096 forms 64 runs, so the first pass
 // merges 32-wide. The charge profile is engine-independent: 3 sweeps

@@ -1,0 +1,15 @@
+// Fixture for the recovery-tag rule: a charge under a non-recovery tag
+// fires (line 7); a charge under a "recovery" ScopedIoTag is clean.
+namespace emjoin::recover {
+
+void ReplayUnderWrongTag(Device* dev) {
+  ScopedIoTag tag(dev, "spill");
+  dev->ChargeReadBlocks(1);
+}
+
+void ReplayUnderRecoveryTag(Device* dev) {
+  ScopedIoTag tag(dev, "recovery");
+  dev->ChargeWriteBlocks(1);
+}
+
+}  // namespace emjoin::recover

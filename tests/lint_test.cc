@@ -132,6 +132,19 @@ TEST(LintTest, ThreadDisciplineFlagsRawSpawnsOutsideParallel) {
   EXPECT_EQ(r.out.find("src/obs/"), std::string::npos) << r.out;
 }
 
+TEST(LintTest, RecoveryTagRequiresTheRecoveryTagInRecover) {
+  const LintRun r = RunLint(Fixture("recovery_tag"));
+  EXPECT_EQ(r.exit_code, 1);
+  // The wrong-tag charge fires recovery-tag only (it IS under a
+  // ScopedIoTag, so tag-discipline stays quiet); the "recovery"-tagged
+  // charge is clean under both rules.
+  ASSERT_EQ(r.lines.size(), 1u) << r.out;
+  EXPECT_TRUE(
+      r.lines[0].rfind("src/recover/rework.cc:7: recovery-tag:", 0) == 0)
+      << r.lines[0];
+  EXPECT_NE(r.lines[0].find("recovery"), std::string::npos);
+}
+
 TEST(LintTest, SuppressionCommentsSilenceEveryRule) {
   const LintRun r = RunLint(Fixture("suppressed"));
   EXPECT_EQ(r.exit_code, 0) << r.out;
@@ -181,7 +194,7 @@ TEST(LintTest, ListRulesNamesTheFullCatalogue) {
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule :
        {"tag-discipline", "status-boundary", "status-discard", "determinism",
-        "substrate-hygiene", "thread-discipline"}) {
+        "substrate-hygiene", "thread-discipline", "recovery-tag"}) {
     EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
   }
 }

@@ -9,7 +9,8 @@
 //              [--fault-seed=N] [--fault-read=P] [--fault-write=P]
 //              [--fault-torn=P] [--fault-capacity=BLOCKS]
 //              [--fault-shrink-at=IOS[,IOS...]] [--fault-shrink-every-poll]
-//              [--fault-retries=K]
+//              [--fault-retries=K] [--fault-adaptive-retry]
+//              [--fault-kill-at=IOS] [--resume=MANIFEST]
 //              "attr1,attr2=path.csv" ...
 //       Loads CSV relations (unsigned integer columns; attributes are
 //       matched by name across relations), runs the optimal join, and
@@ -23,7 +24,12 @@
 //       join in the bench_diff-gateable shape. The
 //       --fault-* flags attach a seeded fault injector to the device
 //       (see docs/ROBUSTNESS.md); a run that cannot recover exits with
-//       the code for its typed error. --export-port serves live
+//       the code for its typed error. --fault-kill-at interrupts the
+//       run at a virtual-I/O tick (exit 74); --resume=MANIFEST journals
+//       the query through a QueryManifest persisted at MANIFEST on
+//       every exit path — rerunning with the same --resume after an
+//       interrupted run resumes it, replaying the full output set
+//       exactly once (see docs/ROBUSTNESS.md). --export-port serves live
 //       /metrics, /healthz, /progress, and /events over HTTP for the
 //       duration of the run (plus --export-linger-ms for one final
 //       scrape); --recorder dumps the flight-recorder event log as
@@ -64,6 +70,8 @@
 #include "obs/runtime.h"
 #include "parallel/parallel_join.h"
 #include "query/classify.h"
+#include "recover/manifest.h"
+#include "recover/resume.h"
 #include "storage/csv.h"
 #include "trace/sinks.h"
 #include "trace/tracer.h"
@@ -115,6 +123,7 @@ struct CommonFlags {
   std::uint32_t workers = 1;
   bool faults = false;
   extmem::FaultConfig fault_config;
+  std::string resume_path;  // empty: no manifest
   std::vector<std::string> positional;
 };
 
@@ -213,6 +222,21 @@ int ParseFlags(int argc, char** argv, int start, CommonFlags* out) {
       out->faults = true;
       out->fault_config.retry.max_retries = static_cast<std::uint32_t>(
           std::strtoul(eq_value("--fault-retries=").c_str(), nullptr, 10));
+    } else if (arg == "--fault-adaptive-retry") {
+      out->faults = true;
+      out->fault_config.adaptive_retry = true;
+    } else if (arg.rfind("--fault-kill-at=", 0) == 0) {
+      out->faults = true;
+      out->fault_config.kill_at_ios =
+          std::strtoull(eq_value("--fault-kill-at=").c_str(), nullptr, 10);
+      if (out->fault_config.kill_at_ios == 0) {
+        return FailUsage("--fault-kill-at must be >= 1");
+      }
+    } else if (arg.rfind("--resume=", 0) == 0) {
+      out->resume_path = eq_value("--resume=");
+      if (out->resume_path.empty()) {
+        return FailUsage("--resume requires a manifest path");
+      }
     } else if (const int obs = metrics::ParseObsFlag(arg); obs != 0) {
       // --metrics=PATH / --metrics-format=... / --audit=PATH, shared
       // with the benches (bench/bench_util.h). Diagnostics for obs < 0
@@ -323,6 +347,26 @@ int CmdJoin(const CommonFlags& flags) {
   }
   std::printf("\n");
 
+  // Whole-query resume: load the manifest if it exists (a missing file
+  // just means a fresh run) and persist it after the join on every exit
+  // path — success or typed failure — so the next invocation with the
+  // same --resume picks up exactly where this one stopped.
+  recover::QueryManifest manifest;
+  const bool resuming = !flags.resume_path.empty();
+  if (resuming) {
+    const extmem::Status s = manifest.ReadFrom(flags.resume_path);
+    if (s.ok()) {
+      std::printf("manifest:  loaded %s (%llu rows journaled)\n",
+                  flags.resume_path.c_str(),
+                  (unsigned long long)manifest.journal().rows());
+    } else if (s.code() != extmem::StatusCode::kNotFound) {
+      return Fail(s);
+    }
+    if (flags.algo == "yann") {
+      return FailUsage("--resume requires --algo auto");
+    }
+  }
+
   std::uint64_t count = 0;
   const auto emit = [&](std::span<const Value> row) {
     ++count;
@@ -335,6 +379,7 @@ int CmdJoin(const CommonFlags& flags) {
   };
 
   const extmem::IoStats join_before = dev.stats();
+  extmem::Status join_status = extmem::Status::Ok();
   {
     // Scoped so the planned "join" phase closes before the audit path's
     // counting-oracle I/O (which runs outside the measured window).
@@ -352,31 +397,59 @@ int CmdJoin(const CommonFlags& flags) {
       poptions.workers = flags.workers;
       poptions.faults = flags.faults;
       poptions.fault_config = flags.fault_config;
+      if (resuming) {
+        poptions.manifest = &manifest;
+        // A loaded manifest whose query completed replays nothing at
+        // the shard barrier (every row is already in the query-level
+        // journal), so deliver the journal up front; an interrupted
+        // manifest has an empty query journal and this emits nothing.
+        manifest.journal().ReplayInto(emit);
+      }
       metrics::Registry* merged = metrics::MetricsCollectionEnabled()
                                       ? &metrics::GlobalMetricsRegistry()
                                       : nullptr;
       const auto report =
           parallel::TryParallelJoinAuto(rels, emit, poptions, merged);
-      if (!report.ok()) return Fail(report.status());
-      std::printf("algorithm: %s (%s)\n",
-                  report->auto_report.algorithm.c_str(),
-                  report->auto_report.reason.c_str());
-      std::printf("shards:    %u x %s, %u workers; critical path %llu I/Os, "
-                  "total %llu\n",
-                  report->shards, names[report->partition_attr].c_str(),
-                  report->workers,
-                  (unsigned long long)report->max_shard_ios,
-                  (unsigned long long)report->sum_shard_ios);
-      if (flags.stats) {
-        for (std::size_t s = 0; s < report->per_shard.size(); ++s) {
-          const parallel::ShardReport& sr = report->per_shard[s];
-          std::printf("shard %zu:   %s, results=%llu, peak mem %llu tuples "
-                      "(%s)\n",
-                      s, sr.io.ToString().c_str(),
-                      (unsigned long long)sr.results,
-                      (unsigned long long)sr.peak_resident,
-                      sr.report.algorithm.c_str());
+      if (!report.ok()) {
+        join_status = report.status();
+      } else {
+        std::printf("algorithm: %s (%s)\n",
+                    report->auto_report.algorithm.c_str(),
+                    report->auto_report.reason.c_str());
+        std::printf("shards:    %u x %s, %u workers; critical path %llu "
+                    "I/Os, total %llu\n",
+                    report->shards, names[report->partition_attr].c_str(),
+                    report->workers,
+                    (unsigned long long)report->max_shard_ios,
+                    (unsigned long long)report->sum_shard_ios);
+        if (flags.stats) {
+          for (std::size_t s = 0; s < report->per_shard.size(); ++s) {
+            const parallel::ShardReport& sr = report->per_shard[s];
+            std::printf("shard %zu:   %s, results=%llu, peak mem %llu "
+                        "tuples (%s)\n",
+                        s, sr.io.ToString().c_str(),
+                        (unsigned long long)sr.results,
+                        (unsigned long long)sr.peak_resident,
+                        sr.report.algorithm.c_str());
+          }
         }
+      }
+    } else if (resuming) {
+      recover::ResumeOptions ropts;
+      // The CLI's output is the terminal sink, so a resumed run replays
+      // the watermark too — the printed output is the full result set.
+      ropts.replay_watermark = true;
+      const auto report =
+          recover::TryResumableJoinAuto(rels, emit, &manifest, ropts);
+      if (!report.ok()) {
+        join_status = report.status();
+      } else {
+        std::printf("algorithm: %s (%s)\n", report->join.algorithm.c_str(),
+                    report->join.reason.c_str());
+        std::printf("resume:    %llu rows replayed from watermark, %llu "
+                    "new\n",
+                    (unsigned long long)report->watermark_rows,
+                    (unsigned long long)report->emitted_rows);
       }
     } else {
       const auto report = core::TryJoinAuto(rels, emit);
@@ -385,6 +458,20 @@ int CmdJoin(const CommonFlags& flags) {
                   report->reason.c_str());
     }
   }
+  if (resuming) {
+    // Persist on success AND typed failure: the manifest written after
+    // an interrupted run is what the next invocation resumes from.
+    if (const extmem::Status s = manifest.WriteTo(flags.resume_path);
+        !s.ok()) {
+      if (join_status.ok()) return Fail(s);
+      std::fprintf(stderr, "emjoin_cli: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("manifest:  wrote %s (%llu rows journaled)\n",
+                  flags.resume_path.c_str(),
+                  (unsigned long long)manifest.journal().rows());
+    }
+  }
+  if (!join_status.ok()) return Fail(join_status);
   std::printf("results:   %llu\n", (unsigned long long)count);
   std::printf("I/O:       %s\n", dev.stats().ToString().c_str());
   if (flags.faults) {
@@ -527,7 +614,8 @@ int Usage() {
       "emjoin_cli join [--memory M] [--block B] [--print] "
       "[--algo auto|yann] [--shards=K] [--workers=W] "
       "[--export-port=PORT] [--recorder=PATH] "
-      "[--fault-seed=N ...] attrs=file.csv ... | "
+      "[--fault-seed=N ...] [--fault-kill-at=IOS] [--resume=MANIFEST] "
+      "attrs=file.csv ... | "
       "emjoin_cli plan [--memory M] [--block B] attrs:SIZE ... | "
       "emjoin_cli demo");
 }

@@ -36,6 +36,11 @@
 //                       parallel::WorkerPool, so shard-confinement (one
 //                       Device/Tracer/Registry per shard, merged at the
 //                       barrier) is the only threading model in the tree.
+//   recovery-tag        Any Device charge in src/recover/ must sit under
+//                       a ScopedIoTag naming "recovery": resume rework
+//                       is overhead, and attributing it anywhere else
+//                       would silently shift the fault-free golden I/O
+//                       counts the invariance tests pin.
 //
 // Usage:
 //   emjoin_lint [--root=DIR] [--json=PATH] [--rule=NAME ...]
@@ -104,6 +109,9 @@ constexpr RuleInfo kRules[] = {
      "raw thread spawns (std::thread/std::jthread/std::async/"
      "pthread_create) only in src/parallel or src/obs; use "
      "parallel::WorkerPool"},
+    {"recovery-tag",
+     "Device charges in src/recover must run under a ScopedIoTag naming "
+     "\"recovery\" so resume rework never shifts golden I/O counts"},
 };
 
 bool KnownRule(std::string_view name) {
@@ -128,6 +136,8 @@ struct FileModel {
   std::string path;                  // root-relative
   std::vector<std::string> code;     // per line, comments/strings blanked
   std::vector<std::string> comment;  // per line, the comment text (if any)
+  std::vector<std::string> raw;      // per line, unblanked (recovery-tag
+                                     // needs the tag string literal)
 };
 
 // Blanks comments and string/char literals so token matching never trips
@@ -215,6 +225,20 @@ FileModel LexFile(const std::string& path, const std::string& text) {
     code += c;
   }
   flush_line();
+  {
+    // Raw lines, split identically to flush_line (one entry per '\n',
+    // plus the final unterminated line).
+    std::string cur;
+    for (const char c : text) {
+      if (c == '\n') {
+        m.raw.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    m.raw.push_back(cur);
+  }
   return m;
 }
 
@@ -298,7 +322,7 @@ bool Under(const std::string& path, std::string_view prefix) {
 
 bool InTagScope(const std::string& p) {
   return Under(p, "src/core/") || Under(p, "src/extmem/") ||
-         Under(p, "src/storage/");
+         Under(p, "src/storage/") || Under(p, "src/recover/");
 }
 
 bool InDeterminismScope(const std::string& p) {
@@ -563,6 +587,47 @@ void CheckThreadDiscipline(const FileModel& m, std::vector<Finding>* out) {
   }
 }
 
+// Rule: recovery-tag. src/recover is the resume layer: any device I/O it
+// performs is rework paid only on faulted or resumed runs, and must be
+// attributed to the "recovery" tag — otherwise the fault-free golden
+// counts pinned by io_invariance_test silently shift. Same lexical
+// window as tag-discipline, but the covering ScopedIoTag line must also
+// name "recovery" (checked against the raw line, since string literals
+// are blanked in the lexical model).
+void CheckRecoveryTag(const FileModel& m, std::vector<Finding>* out) {
+  if (!Under(m.path, "src/recover/")) return;
+  static constexpr std::string_view kCharges[] = {
+      "ChargeReadTuples", "ChargeWriteTuples", "ChargeReadBlocks",
+      "ChargeWriteBlocks"};
+  for (std::size_t i = 0; i < m.code.size(); ++i) {
+    const std::string& line = m.code[i];
+    for (std::string_view name : kCharges) {
+      const std::size_t pos = FindToken(line, name);
+      if (pos == std::string_view::npos) continue;
+      if (!CalledWithParen(line, pos, name.size())) continue;
+      if (FindToken(line.substr(0, pos), "void") != std::string_view::npos) {
+        continue;
+      }
+      bool covered = false;
+      for (std::size_t j = i + 1; j-- > 0;) {
+        if (FindToken(m.code[j], "ScopedIoTag") != std::string_view::npos &&
+            m.raw[j].find("recovery") != std::string::npos) {
+          covered = true;
+          break;
+        }
+        if (j != i && !m.code[j].empty() && m.code[j][0] == '}') break;
+      }
+      if (!covered) {
+        AddFinding(out, m, i, "recovery-tag",
+                   std::string(name) +
+                       " in src/recover outside a \"recovery\" ScopedIoTag "
+                       "(resume rework must be charged to the recovery "
+                       "tag)");
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------
@@ -702,6 +767,9 @@ int main(int argc, char** argv) {
     }
     if (RuleEnabled(only_rules, "thread-discipline")) {
       CheckThreadDiscipline(m, &file_findings);
+    }
+    if (RuleEnabled(only_rules, "recovery-tag")) {
+      CheckRecoveryTag(m, &file_findings);
     }
     std::sort(file_findings.begin(), file_findings.end(),
               [](const Finding& a, const Finding& b) {
