@@ -2,6 +2,7 @@
 #define EMJOIN_EXTMEM_FAULT_INJECTOR_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <random>
@@ -198,13 +199,31 @@ class FaultInjector {
 
   /// Kill-switch check, consulted before any fault draw so a kill run
   /// perturbs no PRNG state. Fires at most once, at the first charge at
-  /// or after `kill_at_ios` on the virtual clock.
+  /// or after `kill_at_ios` on the virtual clock — or at the first
+  /// charge after RequestKill(), whichever comes first.
   bool NextKill(std::uint64_t clock_ios) {
-    if (config_.kill_at_ios == 0 || killed_) return false;
+    if (killed_) return false;
+    if (async_kill_.load(std::memory_order_acquire)) {
+      killed_ = true;
+      return true;
+    }
+    if (config_.kill_at_ios == 0) return false;
     if (clock_ios < config_.kill_at_ios) return false;
     killed_ = true;
     return true;
   }
+
+  /// Asynchronous kill request, safe to call from any thread: the next
+  /// kill check observes it and raises the crash regardless of
+  /// kill_at_ios. This is the live "evict this query" path of the
+  /// emjoin_serve daemon; the scheduled kill_at_ios stays the
+  /// deterministic replay mechanism (soak harness, CI). A query doing
+  /// pure host-side work between charges dies at its next block charge.
+  void RequestKill() { async_kill_.store(true, std::memory_order_release); }
+
+  /// True once a kill — scheduled or requested — has fired. Read on the
+  /// owning (device) thread to classify the resulting kIoError.
+  bool killed() const { return killed_; }
 
   /// Budget shrink decision at a planning poll with the virtual clock at
   /// `clock_ios` and the gauge limit at `current`. Returns the new
@@ -257,7 +276,8 @@ class FaultInjector {
   std::uint64_t streak_ = 0;   // consecutive failed decisions
   std::uint64_t mode_transitions_ = 0;
 
-  bool killed_ = false;  // kill_at_ios fired
+  bool killed_ = false;  // a kill (scheduled or requested) fired
+  std::atomic<bool> async_kill_{false};  // RequestKill() pending
 };
 
 }  // namespace emjoin::extmem

@@ -1,0 +1,13 @@
+#ifndef EMJOIN_OBS_BUILD_INFO_H_
+#define EMJOIN_OBS_BUILD_INFO_H_
+
+namespace emjoin::obs {
+
+/// Build identity reported by /healthz (exporter and daemon alike).
+/// The minor component tracks the CHANGES.md entry count, so a scrape
+/// of a long-lived deployment identifies which change set it runs.
+inline constexpr char kBuildVersion[] = "0.9.0";
+
+}  // namespace emjoin::obs
+
+#endif  // EMJOIN_OBS_BUILD_INFO_H_

@@ -5,8 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cstring>
 #include <utility>
+
+#include "obs/build_info.h"
 
 namespace emjoin::obs {
 
@@ -17,8 +20,13 @@ namespace {
 constexpr int kPollMs = 100;
 constexpr int kMaxRequestRounds = 20;
 
-std::string HttpResponse(const char* status, const char* content_type,
-                         const std::string& body) {
+// Largest accepted POST body. Query specs are a few hundred bytes;
+// anything near this bound is a client bug, answered with 413.
+constexpr std::size_t kMaxBodyBytes = std::size_t{1} << 20;
+
+std::string FormatResponse(const std::string& status,
+                           const std::string& content_type,
+                           const std::string& body) {
   std::string out = "HTTP/1.0 ";
   out += status;
   out += "\r\nContent-Type: ";
@@ -27,6 +35,34 @@ std::string HttpResponse(const char* status, const char* content_type,
   out += "\r\nConnection: close\r\n\r\n";
   out += body;
   return out;
+}
+
+// Content-Length from a raw header block, 0 when absent (GET requests
+// and body-less POSTs). Header names are case-insensitive.
+std::size_t ContentLengthOf(const std::string& headers) {
+  std::size_t pos = 0;
+  while (pos < headers.size()) {
+    std::size_t eol = headers.find('\n', pos);
+    if (eol == std::string::npos) eol = headers.size();
+    std::string line = headers.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    if (name != "content-length") continue;
+    std::size_t value = 0;
+    bool any = false;
+    for (std::size_t i = colon + 1; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == ' ' || c == '\t' || c == '\r') continue;
+      if (c < '0' || c > '9') break;
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+      any = true;
+    }
+    if (any) return value;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -67,6 +103,8 @@ extmem::Status HttpExporter::Start(std::uint16_t port) {
   } else {
     port_ = port;
   }
+  start_time_ = std::chrono::steady_clock::now();
+  started_ = true;
   stop_.store(false, std::memory_order_release);
   pool_ = std::make_unique<parallel::WorkerPool>(1);
   pool_->Submit([this] { Serve(); });
@@ -88,6 +126,13 @@ void HttpExporter::PublishMetrics(std::string text) {
   metrics_text_ = std::move(text);
 }
 
+std::uint64_t HttpExporter::UptimeMs() const {
+  if (!started_) return 0;
+  const auto elapsed = std::chrono::steady_clock::now() - start_time_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count());
+}
+
 void HttpExporter::Serve() {
   while (!stop_.load(std::memory_order_acquire)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
@@ -101,24 +146,59 @@ void HttpExporter::Serve() {
 }
 
 void HttpExporter::HandleConnection(int fd) {
-  // Read until the request line is terminated; scrapers send the whole
+  // Read until the header block terminates, then (for POSTs) until the
+  // Content-Length-framed body is complete. Scrapers send the whole
   // request in one segment, so a couple of rounds suffice.
-  std::string request;
+  std::string raw;
+  std::size_t header_end = std::string::npos;
+  std::size_t body_needed = 0;
   for (int round = 0; round < kMaxRequestRounds; ++round) {
-    if (request.find('\n') != std::string::npos) break;
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        body_needed = ContentLengthOf(raw.substr(0, header_end));
+      }
+    }
+    if (header_end != std::string::npos) {
+      if (body_needed > kMaxBodyBytes) {
+        const std::string response = FormatResponse(
+            "413 Payload Too Large", "text/plain", "body too large\n");
+        (void)::send(fd, response.data(), response.size(), 0);
+        return;
+      }
+      if (raw.size() >= header_end + 4 + body_needed) break;
+    }
     if (stop_.load(std::memory_order_acquire)) return;
     pollfd pfd{fd, POLLIN, 0};
     if (::poll(&pfd, 1, kPollMs) <= 0) continue;
-    char buf[1024];
+    char buf[4096];
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n <= 0) break;
-    request.append(buf, static_cast<std::size_t>(n));
+    raw.append(buf, static_cast<std::size_t>(n));
   }
-  const std::size_t eol = request.find('\n');
+  // A bare request line with no header terminator (a client that shut
+  // down its write side early) is still served as a body-less request.
+  const std::size_t eol = raw.find('\n');
   if (eol == std::string::npos) return;
-  std::string line = request.substr(0, eol);
+  std::string line = raw.substr(0, eol);
   if (!line.empty() && line.back() == '\r') line.pop_back();
-  const std::string response = ResponseFor(line);
+
+  HttpRequest request;
+  const std::size_t method_end = line.find(' ');
+  if (method_end != std::string::npos) {
+    request.method = line.substr(0, method_end);
+    const std::size_t path_end = line.find(' ', method_end + 1);
+    request.path =
+        line.substr(method_end + 1, path_end == std::string::npos
+                                        ? std::string::npos
+                                        : path_end - method_end - 1);
+  }
+  if (header_end != std::string::npos && body_needed > 0 &&
+      raw.size() >= header_end + 4) {
+    request.body = raw.substr(header_end + 4, body_needed);
+  }
+
+  const std::string response = ResponseFor(request);
   requests_.fetch_add(1, std::memory_order_relaxed);
   std::size_t sent = 0;
   while (sent < response.size()) {
@@ -129,19 +209,23 @@ void HttpExporter::HandleConnection(int fd) {
   }
 }
 
-std::string HttpExporter::ResponseFor(const std::string& request_line) {
-  // "GET <path> HTTP/1.x" — anything else is a 400.
-  if (request_line.rfind("GET ", 0) != 0) {
-    return HttpResponse("400 Bad Request", "text/plain", "bad request\n");
+std::string HttpExporter::ResponseFor(const HttpRequest& request) {
+  if (request.method.empty() || request.path.empty()) {
+    return FormatResponse("400 Bad Request", "text/plain", "bad request\n");
   }
-  const std::size_t path_begin = 4;
-  const std::size_t path_end = request_line.find(' ', path_begin);
-  const std::string path =
-      request_line.substr(path_begin, path_end == std::string::npos
-                                          ? std::string::npos
-                                          : path_end - path_begin);
+  if (handler_) {
+    HttpReply reply;
+    if (handler_(request, &reply)) {
+      return FormatResponse(reply.status, reply.content_type, reply.body);
+    }
+  }
+  // Built-in single-query routes, GET only.
+  if (request.method != "GET") {
+    return FormatResponse("400 Bad Request", "text/plain", "bad request\n");
+  }
+  const std::string& path = request.path;
   if (path == "/healthz") {
-    return HttpResponse("200 OK", "text/plain", "ok\n");
+    return FormatResponse("200 OK", "application/json", HealthzJson());
   }
   if (path == "/metrics") {
     std::string body;
@@ -149,17 +233,32 @@ std::string HttpExporter::ResponseFor(const std::string& request_line) {
       const std::lock_guard<std::mutex> lock(metrics_mu_);
       body = metrics_text_;
     }
-    return HttpResponse("200 OK", "text/plain; version=0.0.4", body);
+    return FormatResponse("200 OK", "text/plain; version=0.0.4", body);
   }
   if (path == "/progress") {
-    return HttpResponse("200 OK", "application/json",
-                        telemetry_->tracker().Snapshot().ToJson());
+    return FormatResponse("200 OK", "application/json",
+                          telemetry_->tracker().Snapshot().ToJson());
   }
   if (path == "/events") {
-    return HttpResponse("200 OK", "application/x-ndjson",
-                        telemetry_->recorder().ToJsonl());
+    return FormatResponse("200 OK", "application/x-ndjson",
+                          telemetry_->recorder().ToJsonl());
   }
-  return HttpResponse("404 Not Found", "text/plain", "not found\n");
+  return FormatResponse("404 Not Found", "text/plain", "not found\n");
+}
+
+std::string HttpExporter::HealthzJson() const {
+  // Single-query view: the attached Telemetry is the one live query
+  // until its tracker completes. serve::Server overrides this route
+  // with daemon-wide counts through its HttpHandler.
+  const bool complete = telemetry_->tracker().complete();
+  std::string out = "{\"status\": \"ok\", \"version\": \"";
+  out += kBuildVersion;
+  out += "\", \"uptime_ms\": " + std::to_string(UptimeMs());
+  out += ", \"io_clock\": " + std::to_string(telemetry_->tracker().Clock());
+  out += ", \"queries_live\": " + std::string(complete ? "0" : "1");
+  out += ", \"queries_completed\": " + std::string(complete ? "1" : "0");
+  out += "}\n";
+  return out;
 }
 
 }  // namespace emjoin::obs

@@ -2,7 +2,9 @@
 #define EMJOIN_OBS_HTTP_EXPORTER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -13,14 +15,43 @@
 
 namespace emjoin::obs {
 
-/// Minimal dependency-free HTTP/1.0 exporter over POSIX sockets,
+/// One parsed inbound HTTP request: the method and path from the
+/// request line plus the body (Content-Length bytes of a POST).
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // "/queries/q1/progress"
+  std::string body;    // empty for body-less requests
+};
+
+/// What a route produces. `status` is the full HTTP status ("200 OK",
+/// "404 Not Found", ...); the exporter serializes headers and framing.
+struct HttpReply {
+  std::string status = "200 OK";
+  std::string content_type = "text/plain";
+  std::string body;
+};
+
+/// Route hook consulted before the built-in endpoints: return true to
+/// claim the request (the reply is sent as-is), false to fall through.
+/// Called on the exporter's serve thread; implementations must be
+/// thread-safe against whatever state they read. Install before Start.
+using HttpHandler = std::function<bool(const HttpRequest&, HttpReply*)>;
+
+/// Minimal dependency-free HTTP/1.0 server over POSIX sockets,
 /// serving live telemetry for one Telemetry instance:
 ///
-///   GET /healthz   -> "ok" (200 as soon as the listener is up)
+///   GET /healthz   -> JSON: {"status": "ok", build version, uptime on
+///                     the wall and virtual I/O clocks, live/completed
+///                     query counts} (200 as soon as the listener is up)
 ///   GET /metrics   -> the last metrics text published with
 ///                     PublishMetrics() (Prometheus exposition format)
 ///   GET /progress  -> ProgressTracker snapshot as one JSON object
 ///   GET /events    -> FlightRecorder dump as JSONL
+///
+/// A multi-tenant consumer (serve::Server) installs an HttpHandler that
+/// claims its own routes — including POST submissions, which is why the
+/// connection loop reads Content-Length-framed bodies — and the
+/// built-ins above remain the single-query fallback.
 ///
 /// The listener binds 127.0.0.1 only (this is an introspection port,
 /// not a service) and its accept loop runs as a single long-lived task
@@ -48,6 +79,9 @@ class HttpExporter {
   /// Idempotent; the destructor calls it.
   void Stop();
 
+  /// Installs the route hook (see HttpHandler). Call before Start.
+  void set_handler(HttpHandler handler) { handler_ = std::move(handler); }
+
   [[nodiscard]] bool running() const {
     return pool_ != nullptr;
   }
@@ -64,16 +98,23 @@ class HttpExporter {
     return requests_.load(std::memory_order_relaxed);
   }
 
+  /// Milliseconds of wall-clock uptime since Start (0 before Start).
+  [[nodiscard]] std::uint64_t UptimeMs() const;
+
  private:
   void Serve();
   void HandleConnection(int fd);
-  [[nodiscard]] std::string ResponseFor(const std::string& request_line);
+  [[nodiscard]] std::string ResponseFor(const HttpRequest& request);
+  [[nodiscard]] std::string HealthzJson() const;
 
   Telemetry* telemetry_;
+  HttpHandler handler_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::chrono::steady_clock::time_point start_time_{};
+  bool started_ = false;
   std::mutex metrics_mu_;
   std::string metrics_text_;
   std::unique_ptr<parallel::WorkerPool> pool_;

@@ -27,3 +27,10 @@ struct Pool {
 };
 
 }  // namespace emjoin::core
+
+// The pool itself is also off-limits below the parallel layer: the
+// operator layers are single-threaded by contract. One finding, on the
+// member declaration line below (line 35).
+struct Runner {
+  parallel::WorkerPool pool_{2};
+};

@@ -1,0 +1,17 @@
+// Under src/serve/ the rule is silent on both halves: the daemon's run
+// pool executes whole admitted queries (a concurrency domain the
+// admission ledger governs), and its accept loop is a long-lived
+// serving thread, not shard work. Expected findings in this file: none.
+#include <thread>
+
+namespace emjoin::serve {
+
+struct Daemon {
+  parallel::WorkerPool run_pool_{2};
+};
+
+void AcceptLoop() {
+  std::jthread listener([] {});
+}
+
+}  // namespace emjoin::serve

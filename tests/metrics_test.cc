@@ -209,6 +209,53 @@ TEST(Conformance, EveryRegistryExportPasses) {
   EXPECT_TRUE(CheckPrometheusText("", &error)) << error;
 }
 
+// The daemon's multi-tenant aggregation pattern: two queries export the
+// same families, each absorbed under its own query="<id>" label. The
+// merged exposition must stay conformant with exactly one # TYPE/# HELP
+// header per family, never one per tenant.
+TEST(Conformance, QueryLabeledAggregationEmitsEachHeaderOnce) {
+  Registry q1, q2;
+  for (Registry* q : {&q1, &q2}) {
+    q->SetHelp("emjoin_device_io_blocks_total", "Block transfers");
+    q->GetCounter("emjoin_device_io_blocks_total", {{"op", "read"}})->Add(21);
+    q->GetCounter("emjoin_device_io_blocks_total",
+                  {{"op", "read"}, {"tag", "sort"}})
+        ->Add(3);
+    q->GetGauge("emjoin_peak_resident_tuples")->Set(64);
+    q->GetHistogram("emjoin_fault_retry_burst")->Record(2);
+  }
+  Registry aggregate;
+  aggregate.MergeFrom(q1, {{"query", "q1"}});
+  aggregate.MergeFrom(q2, {{"query", "q2"}});
+
+  const std::string text = aggregate.ToPrometheusText();
+  std::string error;
+  EXPECT_TRUE(CheckPrometheusText(text, &error)) << error;
+
+  const auto count = [&text](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("# TYPE emjoin_device_io_blocks_total counter"), 1u);
+  EXPECT_EQ(count("# HELP emjoin_device_io_blocks_total Block transfers"),
+            1u);
+  EXPECT_EQ(count("# TYPE emjoin_peak_resident_tuples gauge"), 1u);
+  EXPECT_EQ(count("# TYPE emjoin_fault_retry_burst histogram"), 1u);
+  // Both tenants' series survive side by side under their own label.
+  EXPECT_NE(
+      text.find("emjoin_device_io_blocks_total{op=\"read\",query=\"q1\"} 21"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("emjoin_device_io_blocks_total{op=\"read\",query=\"q2\"} 21"),
+      std::string::npos)
+      << text;
+}
+
 TEST(Conformance, RejectsMalformedExpositionText) {
   const auto rejects = [](const std::string& text) {
     std::string error;

@@ -107,8 +107,9 @@ constexpr RuleInfo kRules[] = {
      "extmem::Device)"},
     {"thread-discipline",
      "raw thread spawns (std::thread/std::jthread/std::async/"
-     "pthread_create) only in src/parallel or src/obs; use "
-     "parallel::WorkerPool"},
+     "pthread_create) only in src/parallel, src/obs, or src/serve; "
+     "elsewhere use parallel::WorkerPool — and inside src/ only those "
+     "three layers may own a WorkerPool at all"},
     {"recovery-tag",
      "Device charges in src/recover must run under a ScopedIoTag naming "
      "\"recovery\" so resume rework never shifts golden I/O counts"},
@@ -567,11 +568,23 @@ void CheckSubstrateHygiene(const FileModel& m, std::vector<Finding>* out) {
 // its telemetry sinks are thread-safe by design (lock-free tracker and
 // flight-recorder atomics) and the HTTP exporter's serve loop is a
 // long-lived concurrent observer, not shard work — the opposite of the
-// confinement the rule protects elsewhere. The match is lexical on the
-// qualified spelling, so `threads_` members and `#include <thread>`
-// lines do not fire.
+// confinement the rule protects elsewhere. src/serve/ joins the
+// allowlist with the daemon: its run pool executes whole queries, a
+// concurrency domain the admission ledger (not shard confinement)
+// governs. The match is lexical on the qualified spelling, so
+// `threads_` members and `#include <thread>` lines do not fire.
+//
+// The rule's second half inverts the allowlist for the pool itself:
+// inside src/, only those three layers may *own* a WorkerPool. The
+// substrate and operator layers are single-threaded by contract (their
+// Device charges assume one mutator), so a pool appearing in, say,
+// src/core is a layering escape even though WorkerPool is the blessed
+// primitive everywhere above src/.
 void CheckThreadDiscipline(const FileModel& m, std::vector<Finding>* out) {
-  if (Under(m.path, "src/parallel/") || Under(m.path, "src/obs/")) return;
+  if (Under(m.path, "src/parallel/") || Under(m.path, "src/obs/") ||
+      Under(m.path, "src/serve/")) {
+    return;
+  }
   static constexpr std::string_view kSpawns[] = {
       "std::thread", "std::jthread", "std::async", "pthread_create"};
   for (std::size_t i = 0; i < m.code.size(); ++i) {
@@ -580,9 +593,17 @@ void CheckThreadDiscipline(const FileModel& m, std::vector<Finding>* out) {
       if (FindToken(line, name) == std::string_view::npos) continue;
       AddFinding(out, m, i, "thread-discipline",
                  std::string(name) +
-                     " outside src/parallel or src/obs: route work "
-                     "through parallel::WorkerPool (shard-confined state "
-                     "is the only supported threading model)");
+                     " outside src/parallel, src/obs, or src/serve: "
+                     "route work through parallel::WorkerPool "
+                     "(shard-confined state is the only supported "
+                     "threading model)");
+    }
+    if (Under(m.path, "src/") &&
+        FindToken(line, "WorkerPool") != std::string_view::npos) {
+      AddFinding(out, m, i, "thread-discipline",
+                 "WorkerPool outside src/parallel, src/obs, or "
+                 "src/serve: the substrate and operator layers are "
+                 "single-threaded by contract");
     }
   }
 }

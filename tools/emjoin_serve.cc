@@ -1,0 +1,195 @@
+// emjoin_serve: the long-lived multi-query join daemon.
+//
+//   emjoin_serve [--port=PORT] [--workers=N]
+//                [--memory-budget=TUPLES] [--max-queued=N]
+//                [--request-log=PATH] [--manifest-dir=DIR]
+//                [--serve-seconds=S] [--self-probe=PATH]
+//
+// Starts the serve::Server, prints one parseable line
+//
+//   emjoin_serve: listening on http://127.0.0.1:PORT/
+//
+// and serves until SIGINT/SIGTERM (or --serve-seconds elapses; 0 means
+// forever). See docs/SERVICE.md for the endpoint catalogue and
+// admission semantics.
+//
+// --self-probe=PATH starts the daemon on an ephemeral port, issues one
+// loopback GET for PATH, prints the response body, and exits 0 iff the
+// reply status is 2xx — the probe a WILL_FAIL ctest points at an
+// unknown path to pin the 404 contract.
+//
+// Exit codes: 0 ok, 64 usage, 74 when the listener cannot bind.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+
+namespace {
+
+using namespace emjoin;
+
+constexpr int kExitUsage = 64;
+constexpr int kExitIo = 74;
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: emjoin_serve [--port=PORT] [--workers=N]\n"
+      "                    [--memory-budget=TUPLES] [--max-queued=N]\n"
+      "                    [--request-log=PATH] [--manifest-dir=DIR]\n"
+      "                    [--serve-seconds=S] [--self-probe=PATH]\n");
+  return kExitUsage;
+}
+
+bool ParseU64Flag(const char* arg, const char* name, std::uint64_t* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg + len + 1, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseStrFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+/// One loopback HTTP/1.0 GET against the running daemon; returns the
+/// full response (status line + headers + body) or empty on error.
+std::string LoopbackGet(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+int RunSelfProbe(serve::Server* server, const std::string& path) {
+  const std::string response = LoopbackGet(server->port(), path);
+  if (response.empty()) {
+    std::fprintf(stderr, "emjoin_serve: self-probe got no response\n");
+    return kExitIo;
+  }
+  const std::size_t body = response.find("\r\n\r\n");
+  std::fputs(
+      body == std::string::npos ? response.c_str() : response.c_str() + body + 4,
+      stdout);
+  // "HTTP/1.0 2xx ..." — the status code starts at offset 9.
+  const bool ok = response.size() > 9 && response[9] == '2';
+  if (!ok) {
+    std::fprintf(stderr, "emjoin_serve: self-probe %s -> %s\n", path.c_str(),
+                 response.substr(0, response.find('\r')).c_str());
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerOptions options;
+  std::uint64_t port = 0;
+  std::uint64_t workers = 2;
+  std::uint64_t memory_budget = options.admission.memory_budget;
+  std::uint64_t max_queued = options.admission.max_queued;
+  std::uint64_t serve_seconds = 0;
+  std::string self_probe;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseU64Flag(arg, "--port", &port) ||
+        ParseU64Flag(arg, "--workers", &workers) ||
+        ParseU64Flag(arg, "--memory-budget", &memory_budget) ||
+        ParseU64Flag(arg, "--max-queued", &max_queued) ||
+        ParseU64Flag(arg, "--serve-seconds", &serve_seconds) ||
+        ParseStrFlag(arg, "--request-log", &options.request_log_path) ||
+        ParseStrFlag(arg, "--manifest-dir", &options.manifest_dir) ||
+        ParseStrFlag(arg, "--self-probe", &self_probe)) {
+      continue;
+    }
+    std::fprintf(stderr, "emjoin_serve: unknown flag %s\n", arg);
+    return Usage();
+  }
+  if (port > 65535 || workers == 0 || workers > 64) return Usage();
+
+  options.port = static_cast<std::uint16_t>(port);
+  options.run_workers = static_cast<std::uint32_t>(workers);
+  options.admission.memory_budget = memory_budget;
+  options.admission.max_queued = static_cast<std::size_t>(max_queued);
+  if (!self_probe.empty()) options.port = 0;  // probe runs ephemeral
+
+  serve::Server server(options);
+  const extmem::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "emjoin_serve: %s\n", status.ToString().c_str());
+    return kExitIo;
+  }
+
+  if (!self_probe.empty()) {
+    const int rc = RunSelfProbe(&server, self_probe);
+    server.Stop();
+    return rc;
+  }
+
+  std::printf("emjoin_serve: listening on http://127.0.0.1:%u/\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(serve_seconds);
+  while (!g_stop.load()) {
+    if (serve_seconds > 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.Stop();
+  std::printf("emjoin_serve: shut down\n");
+  return 0;
+}
