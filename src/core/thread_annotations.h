@@ -1,0 +1,76 @@
+#ifndef EMJOIN_CORE_THREAD_ANNOTATIONS_H_
+#define EMJOIN_CORE_THREAD_ANNOTATIONS_H_
+
+// Portable wrappers for clang's Thread Safety Analysis attributes, so the
+// locking protocol of every concurrent layer (parallel/, obs/, serve/,
+// and the one cross-thread atom in extmem/) is written in the type system
+// and machine-checked, not just described in comments.
+//
+// The analysis runs in the dedicated `thread-safety` CI job, which
+// compiles with clang against libc++ and
+// -D_LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS -Wthread-safety
+// -Werror=thread-safety. That combination is required because only
+// libc++ annotates std::mutex as a capability and std::lock_guard as a
+// scoped capability; with libstdc++ (the default g++ build) the
+// attributes would be attached to an un-annotated mutex type and clang
+// would reject them under -Wthread-safety-attributes. Everywhere else —
+// g++, clang+libstdc++, clang without the opt-in define — every macro
+// below expands to nothing and the build is bit-for-bit the usual one.
+//
+// Catalogue (see docs/STATIC_ANALYSIS.md, "Concurrency & layering"):
+//
+//   GUARDED_BY(mu)       data member readable/writable only with `mu` held
+//   PT_GUARDED_BY(mu)    pointee (not the pointer) protected by `mu`
+//   REQUIRES(mu)         function may only be called with `mu` held
+//   EXCLUDES(mu)         function acquires `mu` itself; callers must NOT
+//                        hold it (documents non-reentrancy)
+//   ACQUIRE(mu)          function leaves `mu` held
+//   RELEASE(mu)          function leaves `mu` released
+//   NO_THREAD_SAFETY_ANALYSIS
+//                        opt a function out (condition-variable wait
+//                        protocols, which the analysis cannot model
+//                        through std::unique_lock)
+//
+// Two further macros are documentation-only (they expand to nothing on
+// every compiler) but are load-bearing for emjoin_lint's lock-discipline
+// rule, which requires every mutex/condition-variable/atomic member to
+// state its protocol:
+//
+//   LOCK_FREE_ATOMIC     this std::atomic member is intentionally not
+//                        mutex-guarded; its memory orderings are spelled
+//                        explicitly at every access
+//   WAITS_ON(mu)         this condition variable is always waited on
+//                        under `mu` (the analysis itself cannot check
+//                        cv/mutex pairing)
+//
+// This header is deliberately dependency-free and sits outside the
+// subsystem DAG (emjoin_lint's include-layering rule lists it as
+// layerless), so even the bottom layer (src/extmem) may include it.
+
+// <version> is the cheapest standard header that reveals the library
+// vendor macro (_LIBCPP_VERSION) we gate on.
+#include <version>
+
+#if defined(__clang__) && defined(_LIBCPP_VERSION) && \
+    defined(_LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS)
+#define EMJOIN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EMJOIN_THREAD_ANNOTATION(x)
+#endif
+
+#define GUARDED_BY(x) EMJOIN_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) EMJOIN_THREAD_ANNOTATION(pt_guarded_by(x))
+#define REQUIRES(...) \
+  EMJOIN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EXCLUDES(...) EMJOIN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ACQUIRE(...) EMJOIN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) EMJOIN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  EMJOIN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Documentation-only protocol markers (checked lexically by emjoin_lint,
+// never by the compiler).
+#define LOCK_FREE_ATOMIC
+#define WAITS_ON(...)
+
+#endif  // EMJOIN_CORE_THREAD_ANNOTATIONS_H_

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "extmem/defs.h"
 
 namespace emjoin::extmem {
@@ -277,7 +278,10 @@ class FaultInjector {
   std::uint64_t mode_transitions_ = 0;
 
   bool killed_ = false;  // a kill (scheduled or requested) fired
-  std::atomic<bool> async_kill_{false};  // RequestKill() pending
+  // Lock-free: RequestKill() (any thread) release-stores it; NextKill
+  // on the owning device thread acquire-loads it. The injector's only
+  // cross-thread member — everything else is device-thread-confined.
+  std::atomic<bool> async_kill_ LOCK_FREE_ATOMIC{false};  // RequestKill() pending
 };
 
 }  // namespace emjoin::extmem

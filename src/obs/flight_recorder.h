@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "extmem/event_hook.h"
 
 namespace emjoin::obs {
@@ -67,19 +68,40 @@ class FlightRecorder {
   static const char* KindName(extmem::ObsEventKind kind);
 
  private:
+  // One ring slot. Entirely lock-free; the ticket is the slot's
+  // publication protocol and the only ordering-bearing field:
+  //
+  //   Writer: store ticket = 0 (release)   — invalidate the old entry so
+  //           a concurrent reader discards it rather than mixing the old
+  //           seq with new payload fields;
+  //           store payload fields (relaxed) — ordering between payload
+  //           fields does not matter, the ticket brackets them;
+  //           store ticket = seq + 1 (release) — publish: every payload
+  //           store above happens-before this store.
+  //   Reader: load ticket (acquire), load payload (relaxed), re-load
+  //           ticket (acquire) and compare — a changed or zero ticket
+  //           means the payload may be torn, so the slot is skipped.
+  //
+  // The acquire on the first ticket load pairs with the writer's
+  // publishing release, making the relaxed payload loads safe; the
+  // re-check turns the remaining write-during-read window into a skip
+  // instead of a torn event.
   struct Slot {
-    std::atomic<std::uint64_t> ticket{0};  // 0 = empty, else seq + 1
-    std::atomic<const char*> name{""};
-    std::atomic<std::uint64_t> a{0};
-    std::atomic<std::uint64_t> b{0};
-    std::atomic<std::uint64_t> clock{0};
-    std::atomic<std::uint32_t> shard{extmem::ObsEvent::kNoShard};
-    std::atomic<std::uint8_t> kind{0};
+    std::atomic<std::uint64_t> ticket LOCK_FREE_ATOMIC{0};  // 0 = empty, else seq + 1
+    std::atomic<const char*> name LOCK_FREE_ATOMIC{""};
+    std::atomic<std::uint64_t> a LOCK_FREE_ATOMIC{0};
+    std::atomic<std::uint64_t> b LOCK_FREE_ATOMIC{0};
+    std::atomic<std::uint64_t> clock LOCK_FREE_ATOMIC{0};
+    std::atomic<std::uint32_t> shard LOCK_FREE_ATOMIC{extmem::ObsEvent::kNoShard};
+    std::atomic<std::uint8_t> kind LOCK_FREE_ATOMIC{0};
   };
 
   std::size_t capacity_;
   std::unique_ptr<Slot[]> slots_;
-  std::atomic<std::uint64_t> next_{0};
+  // Slot reservation counter: fetch_add(1, acq_rel) hands each writer a
+  // unique seq; acquire loads in recorded()/Snapshot() see every ticket
+  // published before the count they read.
+  std::atomic<std::uint64_t> next_ LOCK_FREE_ATOMIC{0};
 };
 
 }  // namespace emjoin::obs

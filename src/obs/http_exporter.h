@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/thread_annotations.h"
 #include "extmem/status.h"
 #include "obs/telemetry.h"
 #include "parallel/worker_pool.h"
@@ -91,7 +92,7 @@ class HttpExporter {
 
   /// Atomically replaces the /metrics response body. Call after each
   /// registry collection point (bench loop, merge barrier, run end).
-  void PublishMetrics(std::string text);
+  void PublishMetrics(std::string text) EXCLUDES(metrics_mu_);
 
   /// Requests served since Start (diagnostics).
   [[nodiscard]] std::uint64_t requests() const {
@@ -108,15 +109,23 @@ class HttpExporter {
   [[nodiscard]] std::string HealthzJson() const;
 
   Telemetry* telemetry_;
+  // listen_fd_/port_/started_/start_time_/handler_ need no lock: they
+  // are written before the serve task is submitted (Start) or after the
+  // pool is joined (Stop), so the serve thread only ever reads settled
+  // values — the pool's queue mutex is the synchronization point.
   HttpHandler handler_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
-  std::atomic<bool> stop_{false};
-  std::atomic<std::uint64_t> requests_{0};
+  // Lock-free: Stop() (any thread) flips it; the serve loop polls it
+  // between poll() deadlines. Release/acquire pairing.
+  std::atomic<bool> stop_ LOCK_FREE_ATOMIC{false};
+  // Lock-free: bumped per request on the serve thread, read by tests
+  // and /healthz; a relaxed diagnostic counter.
+  std::atomic<std::uint64_t> requests_ LOCK_FREE_ATOMIC{0};
   std::chrono::steady_clock::time_point start_time_{};
   bool started_ = false;
   std::mutex metrics_mu_;
-  std::string metrics_text_;
+  std::string metrics_text_ GUARDED_BY(metrics_mu_);
   std::unique_ptr<parallel::WorkerPool> pool_;
 };
 

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.h"
+
 namespace emjoin::obs {
 
 /// One planned phase of a query: a span name the orchestrator will open
@@ -76,7 +78,7 @@ class ProgressTracker {
   /// Installs the phase plan. Call before the planned spans open;
   /// calling mid-run is safe (the monotone max keeps percent from
   /// dropping when the weights change).
-  void SetPlan(std::vector<PhasePlan> plan);
+  void SetPlan(std::vector<PhasePlan> plan) EXCLUDES(mu_);
 
   /// Account charged blocks (shard == ObsEvent::kNoShard for the
   /// orchestrator device). Lock-free.
@@ -86,8 +88,8 @@ class ProgressTracker {
   /// Phase transitions from the orchestrator's spans. Only top-level
   /// spans whose name matches the next planned phase advance the plan;
   /// anything else is ignored (operators open many inner spans).
-  void OnPhaseBegin(const char* name);
-  void OnPhaseEnd(const char* name);
+  void OnPhaseBegin(const char* name) EXCLUDES(mu_);
+  void OnPhaseEnd(const char* name) EXCLUDES(mu_);
 
   void OnShardStart(std::uint32_t shard);
   void OnShardFinish(std::uint32_t shard, bool ok);
@@ -103,32 +105,40 @@ class ProgressTracker {
   /// virtual I/O clock the flight recorder timestamps events with.
   [[nodiscard]] std::uint64_t Clock() const;
 
-  [[nodiscard]] ProgressSnapshot Snapshot() const;
+  [[nodiscard]] ProgressSnapshot Snapshot() const EXCLUDES(mu_);
 
  private:
+  // Per-shard tallies on the OnBlocks hot path: lock-free by design
+  // (each field is an independent relaxed counter; readers tolerate
+  // slight skew between fields).
   struct ShardSlot {
-    std::atomic<std::uint64_t> ios{0};
-    std::atomic<std::uint64_t> recovery{0};
-    std::atomic<int> state{0};
+    std::atomic<std::uint64_t> ios LOCK_FREE_ATOMIC{0};
+    std::atomic<std::uint64_t> recovery LOCK_FREE_ATOMIC{0};
+    std::atomic<int> state LOCK_FREE_ATOMIC{0};
   };
 
-  double UnlockedRawPercent(std::uint64_t done) const;
+  double UnlockedRawPercent(std::uint64_t done) const REQUIRES(mu_);
 
-  std::atomic<std::uint64_t> done_ios_{0};
-  std::atomic<std::uint64_t> recovery_ios_{0};
-  std::atomic<bool> complete_{false};
-  // Monotonicity guard: percent * 10^4, advanced with a CAS max.
-  mutable std::atomic<std::uint64_t> max_basis_points_{0};
+  // Lock-free: bumped by every block charge (any device thread), read
+  // by Snapshot/Clock. Relaxed — independent monotone counters.
+  std::atomic<std::uint64_t> done_ios_ LOCK_FREE_ATOMIC{0};
+  std::atomic<std::uint64_t> recovery_ios_ LOCK_FREE_ATOMIC{0};
+  std::atomic<bool> complete_ LOCK_FREE_ATOMIC{false};
+  // Monotonicity guard: percent * 10^4, advanced with a CAS max. The
+  // CAS loop is relaxed on purpose: the value is a self-contained
+  // monotone max (no other memory is published through it), so the
+  // only property needed is the atomicity of each compare_exchange.
+  mutable std::atomic<std::uint64_t> max_basis_points_ LOCK_FREE_ATOMIC{0};
 
   mutable std::mutex mu_;  // guards the plan/phase state below
-  std::vector<PhasePlan> plan_;
-  long double predicted_total_ = 0.0L;
-  std::size_t phases_done_ = 0;
-  std::uint64_t phase_start_ios_ = 0;
+  std::vector<PhasePlan> plan_ GUARDED_BY(mu_);
+  long double predicted_total_ GUARDED_BY(mu_) = 0.0L;
+  std::size_t phases_done_ GUARDED_BY(mu_) = 0;
+  std::uint64_t phase_start_ios_ GUARDED_BY(mu_) = 0;
   // Depth of nested spans reusing the current phase's name, so an inner
   // "join" span closing does not end the planned "join" phase.
-  std::uint32_t phase_nesting_ = 0;
-  bool phase_active_ = false;
+  std::uint32_t phase_nesting_ GUARDED_BY(mu_) = 0;
+  bool phase_active_ GUARDED_BY(mu_) = false;
 
   std::array<ShardSlot, kMaxShards> shards_;
 };

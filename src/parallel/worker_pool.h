@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.h"
+
 namespace emjoin::parallel {
 
 /// Fixed-size pool of worker threads draining a FIFO task queue.
@@ -35,25 +37,31 @@ class WorkerPool {
 
   /// Enqueues one task. Tasks run in FIFO submission order (each worker
   /// pops the oldest pending task), concurrently across workers.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Barrier: blocks until every submitted task has finished running.
-  void Wait();
+  /// Opted out of thread-safety analysis: the condition-variable wait
+  /// protocol (std::unique_lock handed to wait()) is outside the
+  /// analysis's model, but the body is the classic guarded-predicate
+  /// loop and runs entirely under mu_.
+  void Wait() NO_THREAD_SAFETY_ANALYSIS;
 
   [[nodiscard]] std::uint32_t workers() const {
     return static_cast<std::uint32_t>(threads_.size());
   }
 
  private:
-  void RunWorker();
+  // Worker main loop: the cv-wait protocol again, hence the same
+  // analysis opt-out as Wait().
+  void RunWorker() NO_THREAD_SAFETY_ANALYSIS;
 
-  std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;  // written in the ctor only
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait for tasks / shutdown
-  std::condition_variable idle_cv_;  // Wait() waits for the pool to drain
-  std::size_t running_ = 0;          // tasks currently executing
-  bool stop_ = false;
+  std::condition_variable work_cv_ WAITS_ON(mu_);  // tasks / shutdown
+  std::condition_variable idle_cv_ WAITS_ON(mu_);  // pool drained
+  std::size_t running_ GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace emjoin::parallel

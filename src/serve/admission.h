@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "extmem/defs.h"
 
 namespace emjoin::serve {
@@ -52,32 +53,33 @@ class AdmissionController {
 
   /// Decides for a query needing `memory` tuples. kAdmitted reserves
   /// the budget immediately.
-  AdmissionDecision Submit(const std::string& id, TupleCount memory);
+  AdmissionDecision Submit(const std::string& id, TupleCount memory)
+      EXCLUDES(mu_);
 
   /// Releases an admitted query's reservation and promotes queued
   /// queries that now fit, in FIFO order. Returns the promoted ids
   /// (their budget is already reserved).
-  std::vector<std::string> Release(TupleCount memory);
+  std::vector<std::string> Release(TupleCount memory) EXCLUDES(mu_);
 
   /// Removes a queued query (live kill of a waiting submission).
   /// False if `id` is not in the queue.
-  bool CancelQueued(const std::string& id);
+  bool CancelQueued(const std::string& id) EXCLUDES(mu_);
 
   /// Counts a re-submission that resumed from a manifest.
-  void CountResume();
+  void CountResume() EXCLUDES(mu_);
 
-  [[nodiscard]] AdmissionSnapshot Snapshot() const;
+  [[nodiscard]] AdmissionSnapshot Snapshot() const EXCLUDES(mu_);
 
  private:
   mutable std::mutex mu_;
-  AdmissionConfig config_;
-  TupleCount admitted_memory_ = 0;
-  std::size_t running_ = 0;
-  std::deque<std::pair<std::string, TupleCount>> queue_;
-  std::uint64_t admitted_total_ = 0;
-  std::uint64_t queued_total_ = 0;
-  std::uint64_t rejected_total_ = 0;
-  std::uint64_t resumed_total_ = 0;
+  AdmissionConfig config_ GUARDED_BY(mu_);
+  TupleCount admitted_memory_ GUARDED_BY(mu_) = 0;
+  std::size_t running_ GUARDED_BY(mu_) = 0;
+  std::deque<std::pair<std::string, TupleCount>> queue_ GUARDED_BY(mu_);
+  std::uint64_t admitted_total_ GUARDED_BY(mu_) = 0;
+  std::uint64_t queued_total_ GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_total_ GUARDED_BY(mu_) = 0;
+  std::uint64_t resumed_total_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace emjoin::serve

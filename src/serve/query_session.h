@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/thread_annotations.h"
 #include "extmem/fault_injector.h"
 #include "extmem/io_stats.h"
 #include "extmem/status.h"
@@ -84,27 +85,27 @@ class QuerySession {
   [[nodiscard]] recover::QueryManifest& manifest() { return manifest_; }
 
   /// The current spec, copied under the session lock.
-  [[nodiscard]] QuerySpec spec() const;
+  [[nodiscard]] QuerySpec spec() const EXCLUDES(mu_);
 
   /// Replaces the spec for a resume re-submission and clears the
   /// previous attempt's error and any pending kill request.
-  void Respec(QuerySpec spec);
+  void Respec(QuerySpec spec) EXCLUDES(mu_);
 
-  [[nodiscard]] std::uint32_t attempts() const;
+  [[nodiscard]] std::uint32_t attempts() const EXCLUDES(mu_);
 
   /// Stamps kRunning and returns this attempt's 1-based ordinal.
-  std::uint32_t BeginAttempt();
+  std::uint32_t BeginAttempt() EXCLUDES(mu_);
 
   /// Kill plumbing. The worker arms the session with its attempt's
   /// injector; RequestKill (HTTP thread) forwards to the armed injector
   /// or, if none is armed yet, leaves the request pending so the next
   /// attempt dies at its first block charge.
-  void ArmKillSwitch(extmem::FaultInjector* injector);
-  void DisarmKillSwitch();
-  void RequestKill();
-  [[nodiscard]] bool kill_requested() const;
+  void ArmKillSwitch(extmem::FaultInjector* injector) EXCLUDES(mu_);
+  void DisarmKillSwitch() EXCLUDES(mu_);
+  void RequestKill() EXCLUDES(mu_);
+  [[nodiscard]] bool kill_requested() const EXCLUDES(mu_);
 
-  void SetBound(double bound_ios);
+  void SetBound(double bound_ios) EXCLUDES(mu_);
 
   /// Folds one finished attempt into the session: merges the attempt's
   /// thread-confined registry, sums device I/O and fault tallies, and
@@ -112,31 +113,33 @@ class QuerySession {
   void AbsorbAttempt(const metrics::Registry& attempt_registry,
                      const extmem::IoStats& io,
                      const extmem::FaultStats& faults, std::uint64_t rows,
-                     const extmem::Status& status);
+                     const extmem::Status& status) EXCLUDES(mu_);
 
-  [[nodiscard]] QuerySessionSnapshot Snapshot() const;
+  [[nodiscard]] QuerySessionSnapshot Snapshot() const EXCLUDES(mu_);
 
   /// Merges this session's registry into `aggregate` under a
   /// query="<id>" label, plus live progress gauges from the tracker.
-  void CollectInto(metrics::Registry* aggregate) const;
+  void CollectInto(metrics::Registry* aggregate) const EXCLUDES(mu_);
 
  private:
   const std::string id_;
-  std::atomic<QueryState> state_{QueryState::kQueued};
+  // Lock-free: the HTTP thread polls the state while a pool worker
+  // drives the lifecycle; release/acquire pairing in state()/set_state.
+  std::atomic<QueryState> state_ LOCK_FREE_ATOMIC{QueryState::kQueued};
   obs::Telemetry telemetry_;
   recover::QueryManifest manifest_;
 
   mutable std::mutex mu_;
-  QuerySpec spec_;
-  std::uint32_t attempts_ = 0;
-  std::uint64_t rows_ = 0;
-  double bound_ios_ = 0.0;
-  extmem::IoStats io_;
-  extmem::FaultStats faults_;
-  std::string error_;
-  metrics::Registry registry_;
-  bool kill_requested_ = false;
-  extmem::FaultInjector* live_injector_ = nullptr;
+  QuerySpec spec_ GUARDED_BY(mu_);
+  std::uint32_t attempts_ GUARDED_BY(mu_) = 0;
+  std::uint64_t rows_ GUARDED_BY(mu_) = 0;
+  double bound_ios_ GUARDED_BY(mu_) = 0.0;
+  extmem::IoStats io_ GUARDED_BY(mu_);
+  extmem::FaultStats faults_ GUARDED_BY(mu_);
+  std::string error_ GUARDED_BY(mu_);
+  metrics::Registry registry_ GUARDED_BY(mu_);
+  bool kill_requested_ GUARDED_BY(mu_) = false;
+  extmem::FaultInjector* live_injector_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace emjoin::serve

@@ -95,6 +95,11 @@ extmem::Status Server::Start() {
                           "server already started");
   }
   if (!options_.request_log_path.empty()) {
+    // No request thread exists yet, but a Start racing a Stop from
+    // another thread would still collide on log_file_ — it is guarded
+    // by log_mu_ and every touch holds the lock (the thread-safety
+    // analysis flagged this site as the one bare access).
+    const std::lock_guard<std::mutex> lock(log_mu_);
     log_file_ = std::fopen(options_.request_log_path.c_str(), "w");
     if (log_file_ == nullptr) {
       return extmem::Status(
@@ -112,6 +117,7 @@ extmem::Status Server::Start() {
   const extmem::Status status = exporter_.Start(options_.port);
   if (!status.ok()) {
     run_pool_.reset();
+    const std::lock_guard<std::mutex> lock(log_mu_);
     if (log_file_ != nullptr) {
       std::fclose(log_file_);
       log_file_ = nullptr;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "extmem/status.h"
 #include "obs/http_exporter.h"
 #include "obs/telemetry.h"
@@ -125,11 +126,11 @@ class Server {
                                               extmem::FaultStats* shard_faults);
   void LaunchAdmitted(QuerySession* session);
 
-  QuerySession* FindSession(const std::string& id);  // mu_ held
-  StateCounts CountStates();                          // takes mu_
+  QuerySession* FindSession(const std::string& id) REQUIRES(mu_);
+  StateCounts CountStates() EXCLUDES(mu_);
   [[nodiscard]] std::string ManifestPathFor(const std::string& id) const;
   void LogRequest(const obs::HttpRequest& request,
-                  const obs::HttpReply& reply);
+                  const obs::HttpReply& reply) EXCLUDES(log_mu_);
 
   ServerOptions options_;
   // The exporter requires a Telemetry for its single-query built-ins;
@@ -138,16 +139,21 @@ class Server {
   obs::HttpExporter exporter_;
   AdmissionController admission_;
   std::unique_ptr<parallel::WorkerPool> run_pool_;
-  std::atomic<bool> stopping_{false};
+  // Lock-free: flipped by Stop() (any thread) and polled by pool
+  // workers entering RunSession; release/acquire pairing.
+  std::atomic<bool> stopping_ LOCK_FREE_ATOMIC{false};
 
   std::mutex mu_;  // sessions table + submission ordering
-  std::map<std::string, std::unique_ptr<QuerySession>> sessions_;
-  std::vector<QuerySession*> order_;  // submission order, for listings
+  std::map<std::string, std::unique_ptr<QuerySession>> sessions_
+      GUARDED_BY(mu_);
+  // Submission order, for listings.
+  std::vector<QuerySession*> order_ GUARDED_BY(mu_);
 
   std::mutex log_mu_;
-  std::deque<std::string> log_tail_;  // last kLogTailMax JSONL lines
-  std::uint64_t log_seq_ = 0;
-  std::FILE* log_file_ = nullptr;
+  // Last kLogTailMax JSONL lines.
+  std::deque<std::string> log_tail_ GUARDED_BY(log_mu_);
+  std::uint64_t log_seq_ GUARDED_BY(log_mu_) = 0;
+  std::FILE* log_file_ GUARDED_BY(log_mu_) = nullptr;
 };
 
 }  // namespace emjoin::serve

@@ -1,0 +1,9 @@
+// Fixture: an operator-layer file reaching up into the execution and
+// observability layers — both edges invert the subsystem DAG.
+#include "core/operator.h"        // clean: same layer
+#include "extmem/device.h"        // clean: downward
+#include "obs/progress.h"         // BAD: obs (60) from core (20)
+#include "parallel/worker_pool.h" // BAD: parallel (50) from core (20)
+#include "trace/tracer.h"         // clean: layerless observer header
+
+namespace fixture {}

@@ -1,0 +1,7 @@
+// Fixture: the substrate including the storage layer built on top of it
+// — the shortest possible upward edge.
+#include "extmem/status.h"     // clean: same layer
+#include "metrics/registry.h"  // clean: layerless observer header
+#include "storage/relation.h"  // BAD: storage (10) from extmem (0)
+
+namespace fixture {}

@@ -1,0 +1,10 @@
+// Fixture: the top layer may include everything below it — this file
+// must produce zero findings.
+#include "core/acyclic_join.h"
+#include "extmem/device.h"
+#include "obs/telemetry.h"
+#include "parallel/parallel_join.h"
+#include "recover/manifest.h"
+#include "trace/tracer.h"
+
+namespace fixture {}

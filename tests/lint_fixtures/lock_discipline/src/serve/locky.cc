@@ -1,0 +1,40 @@
+// Fixture: every way to violate lock-discipline, each next to the clean
+// counterpart the rule must not flag. Scanned only by lint_test (the
+// real-tree scan skips lint_fixtures/).
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class Locky {
+ public:
+  void Manual() {
+    mu_.lock();  // BAD: manual lock
+    ++count_;
+    mu_.unlock();  // BAD: manual unlock
+  }
+
+  bool TryManual(std::mutex* mu) {
+    return mu->try_lock();  // BAD: manual try_lock through a pointer
+  }
+
+  void Guarded() {
+    const std::lock_guard<std::mutex> lock(annotated_mu_);  // clean: RAII
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;  // BAD: no annotation anywhere names this mutex
+
+  std::mutex annotated_mu_;  // clean: GUARDED_BY below references it
+  int count_ GUARDED_BY(annotated_mu_) = 0;
+
+  std::condition_variable cv_;  // BAD: no WAITS_ON pairing
+  std::condition_variable ok_cv_ WAITS_ON(annotated_mu_);  // clean
+
+  std::atomic<bool> bare_{false};  // BAD: undocumented lock-free sharing
+  std::atomic<bool> marked_ LOCK_FREE_ATOMIC{false};  // clean
+};
+
+}  // namespace fixture

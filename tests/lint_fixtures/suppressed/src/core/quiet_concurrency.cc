@@ -1,0 +1,25 @@
+// Fixture: the suppression syntax silences the two concurrency rules
+// (lock-discipline, include-layering) exactly like the seven older ones
+// — lint_test expects this whole tree to scan clean.
+#include <atomic>
+#include <mutex>
+
+// lint: allow(include-layering) — deliberate upward edge for the test
+#include "serve/query_spec.h"
+
+namespace fixture {
+
+struct Quiet {
+  void Manual() {
+    mu_.lock();  // lint: allow(lock-discipline)
+    mu_.unlock();  // lint: allow(all)
+  }
+
+  // lint: allow(lock-discipline) — the guard protocol here is external;
+  // a wrapped rationale in a contiguous comment block still counts.
+  std::mutex mu_;
+  // lint: allow(lock-discipline)
+  std::atomic<int> bare_{0};
+};
+
+}  // namespace fixture

@@ -150,6 +150,53 @@ TEST(LintTest, RecoveryTagRequiresTheRecoveryTagInRecover) {
   EXPECT_NE(r.lines[0].find("recovery"), std::string::npos);
 }
 
+TEST(LintTest, LockDisciplineFlagsManualOpsAndBareMembers) {
+  const LintRun r = RunLint(Fixture("lock_discipline"));
+  EXPECT_EQ(r.exit_code, 1);
+  // Three manual mutex operations plus one undocumented member of each
+  // primitive kind; the RAII guard, the GUARDED_BY-referenced mutex,
+  // the WAITS_ON cv, and the LOCK_FREE_ATOMIC atomic stay quiet.
+  ASSERT_EQ(r.lines.size(), 6u) << r.out;
+  const int expected_lines[] = {13, 15, 19, 28, 33, 36};
+  const char* expected_tokens[] = {".lock()",  ".unlock()", ".try_lock()",
+                                   "mutex",    "condition", "atomic"};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::string prefix = "src/serve/locky.cc:" +
+                               std::to_string(expected_lines[i]) +
+                               ": lock-discipline:";
+    EXPECT_TRUE(r.lines[i].rfind(prefix, 0) == 0)
+        << "want " << prefix << " got " << r.lines[i];
+    EXPECT_NE(r.lines[i].find(expected_tokens[i]), std::string::npos)
+        << r.lines[i];
+  }
+  EXPECT_NE(r.lines[3].find("'mu_'"), std::string::npos) << r.lines[3];
+  EXPECT_NE(r.lines[4].find("'cv_'"), std::string::npos) << r.lines[4];
+  EXPECT_NE(r.lines[5].find("'bare_'"), std::string::npos) << r.lines[5];
+}
+
+TEST(LintTest, IncludeLayeringFlagsUpwardEdgesOnly) {
+  const LintRun r = RunLint(Fixture("include_layering"));
+  EXPECT_EQ(r.exit_code, 1);
+  // Two upward edges out of core, one out of extmem. The same-layer and
+  // downward edges, the layerless observer headers, and the whole
+  // top-layer serve file must not appear.
+  ASSERT_EQ(r.lines.size(), 3u) << r.out;
+  EXPECT_TRUE(
+      r.lines[0].rfind("src/core/sideways.cc:5: include-layering:", 0) == 0)
+      << r.lines[0];
+  EXPECT_NE(r.lines[0].find("obs/progress.h"), std::string::npos);
+  EXPECT_TRUE(
+      r.lines[1].rfind("src/core/sideways.cc:6: include-layering:", 0) == 0)
+      << r.lines[1];
+  EXPECT_NE(r.lines[1].find("parallel/worker_pool.h"), std::string::npos);
+  EXPECT_TRUE(
+      r.lines[2].rfind("src/extmem/upward.cc:5: include-layering:", 0) == 0)
+      << r.lines[2];
+  EXPECT_NE(r.lines[2].find("storage/relation.h"), std::string::npos);
+  EXPECT_EQ(r.out.find("fine.cc"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("trace/tracer.h"), std::string::npos) << r.out;
+}
+
 TEST(LintTest, SuppressionCommentsSilenceEveryRule) {
   const LintRun r = RunLint(Fixture("suppressed"));
   EXPECT_EQ(r.exit_code, 0) << r.out;
@@ -199,7 +246,8 @@ TEST(LintTest, ListRulesNamesTheFullCatalogue) {
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule :
        {"tag-discipline", "status-boundary", "status-discard", "determinism",
-        "substrate-hygiene", "thread-discipline", "recovery-tag"}) {
+        "substrate-hygiene", "thread-discipline", "recovery-tag",
+        "lock-discipline", "include-layering"}) {
     EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
   }
 }

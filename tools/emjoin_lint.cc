@@ -41,6 +41,27 @@
 //                       is overhead, and attributing it anywhere else
 //                       would silently shift the fault-free golden I/O
 //                       counts the invariance tests pin.
+//   lock-discipline     In src/, mutexes are held via RAII guards only
+//                       (no manual .lock()/.unlock()/.try_lock() calls,
+//                       which the clang thread-safety analysis cannot
+//                       model and which leak on early returns), and
+//                       every std::mutex / std::condition_variable /
+//                       std::atomic member carries a thread-safety
+//                       annotation: the mutex must be named by some
+//                       GUARDED_BY/REQUIRES/EXCLUDES/... in the file,
+//                       the cv a WAITS_ON(mu), the atomic a GUARDED_BY
+//                       or an explicit LOCK_FREE_ATOMIC marker (see
+//                       src/core/thread_annotations.h).
+//   include-layering    Quoted #include edges inside src/ must point
+//                       down the subsystem DAG (extmem < storage <
+//                       core/query/counting/gens < trace/metrics <
+//                       recover < parallel < obs < workload < serve);
+//                       the cross-cutting observer headers
+//                       (thread_annotations, tracer, registry) are
+//                       layerless and includable from anywhere. An
+//                       upward include is a layering escape that would
+//                       eventually cycle the build and lets substrate
+//                       code observe policy layers.
 //
 // Usage:
 //   emjoin_lint [--root=DIR] [--json=PATH] [--rule=NAME ...]
@@ -113,6 +134,15 @@ constexpr RuleInfo kRules[] = {
     {"recovery-tag",
      "Device charges in src/recover must run under a ScopedIoTag naming "
      "\"recovery\" so resume rework never shifts golden I/O counts"},
+    {"lock-discipline",
+     "in src/: no manual .lock()/.unlock()/.try_lock() (RAII guards "
+     "only), and every mutex/condition_variable/atomic member carries a "
+     "thread-safety annotation (GUARDED_BY/WAITS_ON/LOCK_FREE_ATOMIC)"},
+    {"include-layering",
+     "quoted #includes inside src/ must point down the subsystem DAG "
+     "(extmem < storage < core < trace/metrics < recover < parallel < "
+     "obs < workload < serve); cross-cutting observer headers are "
+     "layerless"},
 };
 
 bool KnownRule(std::string_view name) {
@@ -649,6 +679,266 @@ void CheckRecoveryTag(const FileModel& m, std::vector<Finding>* out) {
   }
 }
 
+// Rule: lock-discipline. Two halves, both scoped to src/ (tests and
+// tools may drive synchronization primitives directly to exercise them).
+//
+// (a) Manual mutex operations — `m.lock()`, `m->unlock()`,
+//     `m.try_lock()` — are banned: an early return or exception between
+//     lock and unlock deadlocks the next waiter, and the clang
+//     thread-safety analysis (src/core/thread_annotations.h) cannot
+//     model hand-rolled protocols. Hold mutexes via std::lock_guard /
+//     std::unique_lock / std::scoped_lock, whose scopes the analysis
+//     understands. The member-access prefix (`.` or `->`) is what
+//     distinguishes a manual call from the ubiquitous guard variable
+//     *named* `lock(...)`.
+//
+// (b) Every synchronization-primitive member must declare its protocol:
+//       std::mutex              some GUARDED_BY/PT_GUARDED_BY/REQUIRES/
+//                               EXCLUDES/ACQUIRE/RELEASE/WAITS_ON in the
+//                               same file must name it — a mutex nothing
+//                               claims to be guarded by guards nothing;
+//       std::condition_variable a WAITS_ON(mu) on its declaration line,
+//                               pinning the cv/mutex pairing;
+//       std::atomic             a GUARDED_BY (mixed protocol) or an
+//                               explicit LOCK_FREE_ATOMIC marker on its
+//                               declaration line, so lock-free sharing
+//                               is a documented decision, never a
+//                               default.
+//     A declaration is a type token followed by optional <...> template
+//     arguments and then an identifier — `std::lock_guard<std::mutex>`
+//     and `std::mutex&` parameters do not match.
+void CheckLockDiscipline(const FileModel& m, std::vector<Finding>* out) {
+  if (!Under(m.path, "src/")) return;
+  static constexpr std::string_view kManualOps[] = {"lock", "unlock",
+                                                    "try_lock"};
+  static constexpr std::string_view kAnnotations[] = {
+      "GUARDED_BY", "PT_GUARDED_BY", "REQUIRES", "EXCLUDES",
+      "ACQUIRE",    "RELEASE",       "WAITS_ON"};
+  // (a) manual lock operations.
+  for (std::size_t i = 0; i < m.code.size(); ++i) {
+    const std::string& line = m.code[i];
+    for (std::string_view op : kManualOps) {
+      for (std::size_t pos = FindToken(line, op);
+           pos != std::string_view::npos;
+           pos = FindToken(line, op, pos + 1)) {
+        if (!CalledWithParen(line, pos, op.size())) continue;
+        const bool member_access =
+            (pos >= 1 && line[pos - 1] == '.') ||
+            (pos >= 2 && line.compare(pos - 2, 2, "->") == 0);
+        if (!member_access) continue;
+        AddFinding(out, m, i, "lock-discipline",
+                   "manual ." + std::string(op) +
+                       "() call: hold mutexes via RAII guards "
+                       "(lock_guard/unique_lock/scoped_lock) so scopes "
+                       "are exception-safe and analyzable");
+      }
+    }
+  }
+  // (b) undocumented synchronization members.
+  struct Primitive {
+    std::string_view type;
+    int kind;  // 0 = mutex, 1 = condition variable, 2 = atomic
+  };
+  static constexpr Primitive kPrimitives[] = {
+      {"mutex", 0},
+      {"timed_mutex", 0},
+      {"recursive_mutex", 0},
+      {"shared_mutex", 0},
+      {"condition_variable", 1},
+      {"condition_variable_any", 1},
+      {"atomic", 2},
+      {"atomic_flag", 2},
+  };
+  for (std::size_t i = 0; i < m.code.size(); ++i) {
+    const std::string& line = m.code[i];
+    for (const Primitive& p : kPrimitives) {
+      const std::size_t pos = FindToken(line, p.type);
+      if (pos == std::string_view::npos) continue;
+      std::size_t j = pos + p.type.size();
+      if (j < line.size() && line[j] == '<') {
+        // Skip balanced template arguments; a '>'-terminated token with
+        // no trailing declarator (e.g. inside lock_guard<std::mutex>)
+        // falls out below.
+        std::size_t depth = 1;
+        ++j;
+        while (j < line.size() && depth > 0) {
+          if (line[j] == '<') ++depth;
+          if (line[j] == '>') --depth;
+          ++j;
+        }
+        if (depth > 0) continue;  // template args continue past the line
+      }
+      if (j >= line.size() ||
+          !std::isspace(static_cast<unsigned char>(line[j]))) {
+        continue;  // template argument, &/* parameter, or cast
+      }
+      while (j < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[j]))) {
+        ++j;
+      }
+      if (j >= line.size() || !IsWordChar(line[j]) ||
+          std::isdigit(static_cast<unsigned char>(line[j]))) {
+        continue;
+      }
+      std::size_t name_end = j;
+      while (name_end < line.size() && IsWordChar(line[name_end])) {
+        ++name_end;
+      }
+      const std::string name = line.substr(j, name_end - j);
+      if (p.kind == 0) {
+        // The mutex must be named inside some annotation's parentheses
+        // anywhere in this file.
+        bool referenced = false;
+        for (std::size_t k = 0; k < m.code.size() && !referenced; ++k) {
+          for (std::string_view ann : kAnnotations) {
+            const std::size_t apos = FindToken(m.code[k], ann);
+            if (apos == std::string_view::npos) continue;
+            const std::size_t open = m.code[k].find('(', apos);
+            if (open == std::string::npos) continue;
+            const std::size_t close = m.code[k].find(')', open);
+            if (close == std::string::npos) continue;
+            const std::string_view args(m.code[k].data() + open + 1,
+                                        close - open - 1);
+            if (FindToken(args, name) != std::string_view::npos) {
+              referenced = true;
+              break;
+            }
+          }
+        }
+        if (!referenced) {
+          AddFinding(out, m, i, "lock-discipline",
+                     "mutex member '" + name +
+                         "' is never named by a thread-safety annotation "
+                         "(GUARDED_BY/REQUIRES/EXCLUDES/...): declare "
+                         "what it guards, see "
+                         "src/core/thread_annotations.h");
+        }
+      } else if (p.kind == 1) {
+        if (FindToken(line, "WAITS_ON") == std::string_view::npos) {
+          AddFinding(out, m, i, "lock-discipline",
+                     "condition variable '" + name +
+                         "' missing WAITS_ON(<mutex>) on its "
+                         "declaration: pin the cv/mutex pairing");
+        }
+      } else {
+        if (FindToken(line, "GUARDED_BY") == std::string_view::npos &&
+            FindToken(line, "LOCK_FREE_ATOMIC") == std::string_view::npos) {
+          AddFinding(out, m, i, "lock-discipline",
+                     "atomic member '" + name +
+                         "' missing GUARDED_BY or LOCK_FREE_ATOMIC: "
+                         "lock-free sharing must be a documented "
+                         "decision");
+        }
+      }
+    }
+  }
+}
+
+// Rule: include-layering. The subsystem DAG, as enforced ranks — an
+// include edge may point at the same rank or lower, never higher:
+//
+//   rank  0  extmem      cost-model substrate (Device, Status, faults)
+//   rank 10  storage     relations/runs on top of the substrate
+//   rank 20  core, query, counting, gens   operators and plan structure
+//   rank 30  trace, metrics                derived accounting
+//   rank 40  recover     manifests/resume (consumed by parallel)
+//   rank 50  parallel    sharded execution
+//   rank 60  obs         live observability plane
+//   rank 70  workload    soak/bench instance constructions
+//   rank 80  serve       the multi-query daemon
+//
+// Three cross-cutting observer headers are layerless (includable from
+// any layer): core/thread_annotations.h (annotation macros, no deps),
+// trace/tracer.h and metrics/registry.h (the event/metrics sinks every
+// layer reports into — the substrate charges I/O, the tracer observes
+// it). Three metrics files are re-ranked to 70: parallel_audit.{h,cc}
+// and cost_model.cc are audit harnesses *over* parallel runs and
+// workload constructions, not accounting the lower layers depend on.
+// Harness trees (tests/ tools/ bench/ examples/) may include anything.
+void CheckIncludeLayering(const FileModel& m, std::vector<Finding>* out) {
+  struct Layer {
+    std::string_view dir;
+    int rank;
+  };
+  static constexpr Layer kLayers[] = {
+      {"extmem", 0},    {"storage", 10}, {"core", 20},  {"query", 20},
+      {"counting", 20}, {"gens", 20},    {"trace", 30}, {"metrics", 30},
+      {"recover", 40},  {"parallel", 50}, {"obs", 60},  {"workload", 70},
+      {"serve", 80},
+  };
+  static constexpr std::string_view kLayerless[] = {
+      "core/thread_annotations.h", "trace/tracer.h", "metrics/registry.h"};
+  struct Override {
+    std::string_view file;
+    int rank;
+  };
+  static constexpr Override kOverrides[] = {
+      {"src/metrics/parallel_audit.h", 70},
+      {"src/metrics/parallel_audit.cc", 70},
+      {"src/metrics/cost_model.cc", 70},
+  };
+  if (!Under(m.path, "src/")) return;
+  const auto rank_of = [](std::string_view dir) {
+    for (const Layer& l : kLayers) {
+      if (l.dir == dir) return l.rank;
+    }
+    return -1;
+  };
+  const auto dir_of = [](std::string_view path) {
+    const std::size_t slash = path.find('/');
+    return slash == std::string_view::npos ? std::string_view{}
+                                           : path.substr(0, slash);
+  };
+  int source_rank = rank_of(dir_of(std::string_view(m.path).substr(4)));
+  std::string_view source_dir = dir_of(std::string_view(m.path).substr(4));
+  for (const Override& o : kOverrides) {
+    if (o.file == m.path) source_rank = o.rank;
+  }
+  if (source_rank < 0) return;  // unknown subsystem: nothing to enforce
+  for (std::size_t i = 0; i < m.raw.size(); ++i) {
+    // Parse `#include "target"` off the raw line (the lexical model
+    // blanks string literals, and the include path is one).
+    const std::string& raw = m.raw[i];
+    std::size_t j = 0;
+    while (j < raw.size() &&
+           std::isspace(static_cast<unsigned char>(raw[j]))) {
+      ++j;
+    }
+    if (j >= raw.size() || raw[j] != '#') continue;
+    ++j;
+    while (j < raw.size() &&
+           std::isspace(static_cast<unsigned char>(raw[j]))) {
+      ++j;
+    }
+    if (raw.compare(j, 7, "include") != 0) continue;
+    j += 7;
+    while (j < raw.size() &&
+           std::isspace(static_cast<unsigned char>(raw[j]))) {
+      ++j;
+    }
+    if (j >= raw.size() || raw[j] != '"') continue;  // <system> is free
+    const std::size_t close = raw.find('"', j + 1);
+    if (close == std::string::npos) continue;
+    const std::string target = raw.substr(j + 1, close - j - 1);
+    bool layerless = false;
+    for (std::string_view exempt : kLayerless) {
+      if (target == exempt) layerless = true;
+    }
+    if (layerless) continue;
+    const int target_rank = rank_of(dir_of(target));
+    if (target_rank < 0) continue;
+    if (target_rank <= source_rank) continue;
+    AddFinding(out, m, i, "include-layering",
+               "include of \"" + target + "\" (layer " +
+                   std::string(dir_of(target)) + ", rank " +
+                   std::to_string(target_rank) + ") from layer " +
+                   std::string(source_dir) + " (rank " +
+                   std::to_string(source_rank) +
+                   "): include edges must point down the subsystem DAG "
+                   "(see docs/STATIC_ANALYSIS.md)");
+  }
+}
+
 // ---------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------
@@ -791,6 +1081,12 @@ int main(int argc, char** argv) {
     }
     if (RuleEnabled(only_rules, "recovery-tag")) {
       CheckRecoveryTag(m, &file_findings);
+    }
+    if (RuleEnabled(only_rules, "lock-discipline")) {
+      CheckLockDiscipline(m, &file_findings);
+    }
+    if (RuleEnabled(only_rules, "include-layering")) {
+      CheckIncludeLayering(m, &file_findings);
     }
     std::sort(file_findings.begin(), file_findings.end(),
               [](const Finding& a, const Finding& b) {
